@@ -1,0 +1,108 @@
+"""E10 — Figures 4-6 / Section 4: client workflows.
+
+The demo GUI exercises: joining the network, indexing dropped-in
+documents, access-controlled retrieval, and external-engine integration
+via Alvis document digests.  This bench drives the exact same flows
+through the public API and reports their cost.
+
+Series reproduced: per-operation virtual-network cost (messages, bytes)
+for join+handover, incremental document publishing, digest import,
+protected fetch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_network
+from repro.core.access import AccessPolicy
+from repro.eval.reporting import print_table
+from repro.ir.digest import digest_from_terms, parse_digest, render_digest
+from repro.ir.documents import Document
+
+
+@pytest.fixture(scope="module")
+def e10_rows(bench_corpus):
+    network = make_network(bench_corpus, num_peers=12)
+    rows = []
+
+    def measured(label, action):
+        before_bytes = network.bytes_sent_total()
+        before_msgs = network.messages_sent_total()
+        action()
+        rows.append([label,
+                     network.messages_sent_total() - before_msgs,
+                     network.bytes_sent_total() - before_bytes])
+
+    # 1. A new peer joins; its key range is handed over.
+    churn = network.churn()
+    measured("peer join (handover)", churn.join)
+
+    # 2. Drag & drop: publish one new document incrementally.
+    fresh = Document(doc_id=0, title="Fresh results",
+                     text="fresh benchmark numbers for the zebra "
+                          "quagga corpus appear here")
+    host = network.peer_ids()[0]
+    measured("publish new document",
+             lambda: network.publish_incremental(host, fresh))
+
+    # 3. External engine: import a digest and publish it.
+    digests = [digest_from_terms(
+        "http://library/item1", "Library item",
+        ["archive", "manuscript", "medieval", "archive"])]
+    xml_text = render_digest(digests)
+
+    def import_digest():
+        parsed = parse_digest(xml_text)[0]
+        document = Document(doc_id=0, title=parsed.title,
+                            text=" ".join(parsed.term_sequence()),
+                            url=parsed.url)
+        network.publish_incremental(host, document)
+
+    measured("digest import + publish", import_digest)
+
+    # 4. Protected fetch: publish with a password, fetch twice.
+    secret = Document(doc_id=0, title="Protected",
+                      text="restricted content xylophone")
+    doc_id = network.publish_incremental(
+        network.peer_ids()[1], secret)
+    network.peer(network.peer_ids()[1]).access.set_policy(
+        doc_id, AccessPolicy.password("alice", "pw"))
+    origin = network.peer_ids()[2]
+
+    def protected_fetch():
+        denied = network.fetch_document(origin, doc_id)
+        assert not denied["ok"]
+        granted = network.fetch_document(origin, doc_id,
+                                         credentials=("alice", "pw"))
+        assert granted["ok"]
+
+    measured("protected fetch (deny+grant)", protected_fetch)
+
+    # 5. Search for the incrementally published document.
+    def end_to_end_search():
+        results, _trace = network.query(origin, "zebra quagga")
+        assert results
+
+    measured("query for fresh document", end_to_end_search)
+    return rows
+
+
+def test_e10_client_workflows(benchmark, capsys, e10_rows, bench_corpus):
+    network = make_network(bench_corpus, num_peers=12, seed=777)
+    origin = network.peer_ids()[0]
+    benchmark(lambda: network.fetch_document(
+        origin, 1, terms=["benchmark"]))
+    with capsys.disabled():
+        print_table(
+            "E10 client workflow costs",
+            ["operation", "messages", "bytes"],
+            e10_rows)
+
+
+def test_e10_shape_holds(e10_rows):
+    by_label = {row[0]: row for row in e10_rows}
+    assert by_label["peer join (handover)"][2] > 0
+    assert by_label["publish new document"][1] > 0
+    assert by_label["digest import + publish"][2] > 0
+    assert by_label["protected fetch (deny+grant)"][1] >= 2

@@ -1,0 +1,94 @@
+"""E11 (extension) — replication overhead vs. crash durability.
+
+Not a figure of the demo paper itself, but a requirement for running the
+demo: the live network must keep answering while peers disappear without
+notice.  This bench quantifies the ablation DESIGN.md calls out: the
+replication factor's storage/traffic overhead against the fraction of
+global-index keys that survive simultaneous crashes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, make_network
+from repro.core.replication import ReplicationManager
+from repro.eval.reporting import print_table
+from repro.util.rng import make_rng
+
+
+def _survival_run(bench_corpus, replication_factor, crashes):
+    network = make_network(bench_corpus, num_peers=16)
+    network.reset_traffic()
+    manager = None
+    if replication_factor > 0:
+        manager = ReplicationManager(
+            network, replication_factor=replication_factor)
+        manager.replicate_all()
+    replication_bytes = network.bytes_by_kind().get("ReplicaPush", 0.0)
+    replica_storage = sum(
+        sum(entry.storage_bytes()
+            for entry in peer.replica_store.values())
+        for peer in network.peers())
+    primary_keys = {entry.key
+                    for peer in network.peers()
+                    for entry in peer.fragment
+                    if entry.postings or entry.contributors}
+    rng = make_rng(BENCH_SEED, "e11", replication_factor, crashes)
+    victims = rng.sample(network.peer_ids(), crashes)
+    for victim in victims:
+        network.fail_peer(victim)
+    if manager is not None:
+        manager.repair()
+    surviving = {entry.key
+                 for peer in network.peers()
+                 for entry in peer.fragment
+                 if entry.postings or entry.contributors}
+    survival = len(primary_keys & surviving) / len(primary_keys)
+    return {
+        "replication_bytes": replication_bytes,
+        "replica_storage": replica_storage,
+        "survival": survival,
+    }
+
+
+@pytest.fixture(scope="module")
+def e11_rows(bench_corpus):
+    rows = []
+    for factor in (0, 1, 2):
+        for crashes in (1, 3):
+            run = _survival_run(bench_corpus, factor, crashes)
+            rows.append([factor, crashes,
+                         run["replication_bytes"],
+                         run["replica_storage"],
+                         run["survival"]])
+    return rows
+
+
+def test_e11_replication_tradeoff(benchmark, capsys, e11_rows,
+                                  bench_corpus):
+    benchmark.pedantic(
+        lambda: _survival_run(bench_corpus, 1, 1), rounds=1,
+        iterations=1)
+    with capsys.disabled():
+        print_table(
+            "E11 replication factor vs crash durability (16 peers)",
+            ["factor", "crashes", "replication bytes",
+             "replica storage", "key survival"],
+            e11_rows)
+
+
+def test_e11_shape_holds(e11_rows):
+    by_config = {(row[0], row[1]): row for row in e11_rows}
+    # No replication: crashes lose keys.
+    assert by_config[(0, 3)][4] < 1.0
+    # Factor 2 survives 3 scattered crashes (almost surely: losing a key
+    # needs 3 consecutive ring neighbours to die).
+    assert by_config[(2, 1)][4] == pytest.approx(1.0)
+    assert by_config[(2, 3)][4] > 0.97
+    # Overhead is monotone in the factor.
+    assert by_config[(2, 1)][2] > by_config[(1, 1)][2] > 0
+    assert by_config[(0, 1)][2] == 0
+    # More replication -> better or equal survival.
+    for crashes in (1, 3):
+        assert by_config[(2, crashes)][4] >= by_config[(0, crashes)][4]

@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures.
+
+Experiment scenarios are expensive (corpus generation + statistics phase +
+index build); they are session-scoped and shared across benchmark files.
+Every benchmark prints its result table through ``capsys.disabled()`` so
+the series appear on the terminal (and in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AlvisConfig
+from repro.core.network import AlvisNetwork
+from repro.corpus.queries import QueryWorkload, QueryWorkloadConfig
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+
+#: The reference scenario used by several experiments.
+BENCH_SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def bench_corpus() -> SyntheticCorpus:
+    """240 documents / 1200-term vocabulary: large enough for HDK
+    expansion and meaningful df skew, small enough for quick runs."""
+    return SyntheticCorpus(SyntheticCorpusConfig(
+        num_documents=240, vocabulary_size=1200, num_topics=8,
+        seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def bench_workload(bench_corpus) -> QueryWorkload:
+    return QueryWorkload.from_corpus(
+        bench_corpus,
+        QueryWorkloadConfig(pool_size=60, min_terms=2, max_terms=3,
+                            seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def bench_hdk_network(bench_corpus) -> AlvisNetwork:
+    network = AlvisNetwork(num_peers=16, config=AlvisConfig(),
+                           seed=BENCH_SEED)
+    network.distribute_documents(bench_corpus.documents())
+    network.build_index(mode="hdk")
+    return network
+
+
+def make_network(corpus, num_peers=16, mode="hdk", config=None,
+                 seed=BENCH_SEED, **network_kwargs) -> AlvisNetwork:
+    """Build a fresh network over ``corpus`` (for sweeps that mutate)."""
+    network = AlvisNetwork(num_peers=num_peers,
+                           config=config or AlvisConfig(), seed=seed,
+                           **network_kwargs)
+    network.distribute_documents(corpus.documents())
+    network.build_index(mode=mode)
+    return network

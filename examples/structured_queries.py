@@ -1,0 +1,70 @@
+"""Structured queries at a sophisticated local engine (Layer 5).
+
+Section 3: a local search engine "can support complex structured queries
+or/and employ a particular ranking strategy".  This example runs boolean
+AND/OR/NOT queries and positional phrase queries against one peer's
+engine, then shows the two-step flow: a remote user finds a document via
+the distributed index and the *owning* peer's engine answers a refined,
+structured follow-up.
+
+Run with::
+
+    python examples/structured_queries.py
+"""
+
+from __future__ import annotations
+
+from repro import AlvisNetwork
+from repro.corpus import sample_documents
+from repro.eval.reporting import print_table
+
+
+def local_engine_showcase(engine) -> None:
+    queries = [
+        'retrieval AND "distributed index"',
+        '"posting list" OR ranking',
+        'peer AND NOT congestion',
+        '(truncation OR ranking) AND NOT bm25',
+        '"access rights"',
+    ]
+    for query in queries:
+        results = engine.structured_search(query, k=3)
+        rows = [[result.doc_id, result.title,
+                 round(result.score, 3)] for result in results]
+        print_table(f"structured query: {query}",
+                    ["doc", "title", "score"], rows)
+
+
+def main() -> None:
+    network = AlvisNetwork(num_peers=5, seed=17)
+    # The "digital library" peer holds the whole sample collection (a
+    # library brings a complete local corpus); other peers join empty.
+    library_id = network.peer_ids()[0]
+    network.publish_documents(library_id, sample_documents())
+    network.build_index(mode="hdk")
+
+    # --- Local structured search at the library peer ----------------------
+    library_peer = network.peer(library_id)
+    print(f"local engine of peer {library_id} "
+          f"({library_peer.engine.num_documents} documents)")
+    local_engine_showcase(library_peer.engine)
+
+    # --- Two-step flow: distributed discovery, structured follow-up ------
+    searcher = network.peer_ids()[-1]
+    results, trace = network.query(searcher, "ranking statistics")
+    assert results
+    top = results[0]
+    owner = network.doc_owner(top.doc_id)
+    print(f"\ndistributed query found doc {top.doc_id} at its holder; "
+          f"forwarding a structured follow-up to that local engine:")
+    owner_engine = network.peer(owner).engine
+    refined = owner_engine.structured_search(
+        'statistics AND indexing AND NOT congestion', k=3)
+    rows = [[result.doc_id, result.title, result.snippet[:48]]
+            for result in refined]
+    print_table("owner-side structured refinement",
+                ["doc", "title", "snippet"], rows)
+
+
+if __name__ == "__main__":
+    main()

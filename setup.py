@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but not `wheel`, so PEP 660
+editable installs fail; this shim lets `pip install -e .` use the legacy
+`setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of AlvisP2P: scalable peer-to-peer text "
+                 "retrieval in a structured P2P network (VLDB 2008)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,42 @@
+"""AlvisP2P reproduction: scalable peer-to-peer text retrieval in a
+structured P2P network (Luu et al., VLDB 2008).
+
+Quick tour::
+
+    from repro import AlvisNetwork, AlvisConfig
+    from repro.corpus import sample_documents
+
+    network = AlvisNetwork(num_peers=8, config=AlvisConfig(), seed=1)
+    network.distribute_documents(sample_documents())
+    network.build_index(mode="hdk")
+    results, trace = network.query(network.peer_ids()[0],
+                                   "scalable peer retrieval")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro.core.access import AccessPolicy
+from repro.core.config import AlvisConfig
+from repro.core.keys import Key
+from repro.core.network import AlvisNetwork
+from repro.core.peer import AlvisPeer
+from repro.core.replication import ReplicationManager
+from repro.eval.monitor import NetworkMonitor
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPolicy",
+    "AlvisConfig",
+    "Key",
+    "AlvisNetwork",
+    "AlvisPeer",
+    "ReplicationManager",
+    "NetworkMonitor",
+    "Analyzer",
+    "Document",
+    "__version__",
+]

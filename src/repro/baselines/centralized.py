@@ -1,0 +1,74 @@
+"""Centralized BM25 reference engine.
+
+One :class:`~repro.ir.search.LocalSearchEngine` indexing the *entire*
+collection — what a centralized search engine sees.  Experiment E4
+measures how close AlvisP2P's distributed, truncated retrieval comes to
+this reference (the paper claims "fully comparable" quality).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.search import LocalSearchEngine, SearchResult
+
+__all__ = ["CentralizedEngine"]
+
+
+class CentralizedEngine:
+    """The whole collection behind one BM25 engine."""
+
+    def __init__(self, documents: Iterable[Document] = (),
+                 analyzer: Optional[Analyzer] = None):
+        self.engine = LocalSearchEngine(analyzer)
+        for document in documents:
+            self.engine.add_document(document)
+
+    def add_document(self, document: Document) -> None:
+        self.engine.add_document(document)
+
+    @property
+    def num_documents(self) -> int:
+        return self.engine.num_documents
+
+    # ------------------------------------------------------------------
+
+    def search(self, query: str, k: int = 10) -> List[SearchResult]:
+        """Standard disjunctive BM25 top-k."""
+        return self.engine.search(query, k=k)
+
+    def top_doc_ids(self, query_terms: Sequence[str],
+                    k: int = 10) -> List[int]:
+        """Top-k document ids for pre-analyzed terms (quality reference).
+
+        Uses the same disjunctive BM25 as :meth:`search` but skips snippet
+        generation, which the quality benchmark does not need.
+        """
+        stats = self.engine.local_statistics()
+        candidates = set()
+        for term in query_terms:
+            candidates |= self.engine.index.documents_with_term(term)
+        scored: List[Tuple[float, int]] = []
+        for doc_id in candidates:
+            scored.append((self.engine.score_document(doc_id, query_terms,
+                                                      stats), doc_id))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [doc_id for _score, doc_id in scored[:k]]
+
+    def conjunctive_doc_ids(self, query_terms: Sequence[str],
+                            k: int = 10) -> List[int]:
+        """Top-k ids among documents containing *all* query terms.
+
+        The distributed index has conjunctive semantics per key, so this
+        variant isolates ranking differences from semantics differences.
+        """
+        stats = self.engine.local_statistics()
+        matching = self.engine.index.documents_with_all(query_terms)
+        scored: List[Tuple[float, int]] = []
+        for doc_id in matching:
+            scored.append((self.engine.score_document(doc_id, query_terms,
+                                                      stats), doc_id))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [doc_id for _score, doc_id in scored[:k]]

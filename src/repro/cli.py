@@ -1,0 +1,170 @@
+"""Command-line interface: the AlvisP2P client, headless.
+
+Section 4 describes the peer client software (standalone or Web mode);
+this CLI is its offline equivalent, driving a simulated network::
+
+    python -m repro demo                          # end-to-end demo
+    python -m repro query "peer retrieval" --mode qdi --peers 12
+    python -m repro query "truncation" --docs ./my_texts
+    python -m repro monitor --queries 20          # dashboard snapshot
+
+All commands are deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config import AlvisConfig
+from repro.core.network import AlvisNetwork
+from repro.corpus.loader import load_directory, sample_documents
+from repro.corpus.queries import QueryWorkload, QueryWorkloadConfig
+from repro.eval.monitor import NetworkMonitor
+from repro.eval.reporting import format_table
+from repro.util.rng import make_rng
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AlvisP2P reproduction — simulated P2P text "
+                    "retrieval client")
+    parser.add_argument("--peers", type=int, default=8,
+                        help="number of peers in the network")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="deterministic seed")
+    parser.add_argument("--mode", choices=("hdk", "qdi"), default="hdk",
+                        help="distributed indexing strategy")
+    parser.add_argument("--docs", metavar="DIR", default=None,
+                        help="directory of .txt documents to index "
+                             "(default: built-in sample collection)")
+    parser.add_argument("--k", type=int, default=5,
+                        help="results to display")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser(
+        "demo", help="build a network and run showcase queries")
+    demo.add_argument("--queries", type=int, default=3,
+                      help="number of showcase queries")
+
+    query = subparsers.add_parser(
+        "query", help="run one multi-keyword query")
+    query.add_argument("text", help="the query string")
+    query.add_argument("--refine", action="store_true",
+                       help="two-step retrieval (refine at holders)")
+
+    monitor = subparsers.add_parser(
+        "monitor", help="print the network-state dashboard")
+    monitor.add_argument("--queries", type=int, default=10,
+                         help="queries to run before the snapshot")
+    return parser
+
+
+def _build_network(args) -> AlvisNetwork:
+    network = AlvisNetwork(num_peers=args.peers, config=AlvisConfig(),
+                           seed=args.seed)
+    if args.docs is not None:
+        documents = load_directory(args.docs)
+        if not documents:
+            raise SystemExit(f"no documents found under {args.docs}")
+    else:
+        documents = sample_documents()
+    network.distribute_documents(documents)
+    network.build_index(mode=args.mode)
+    return network
+
+
+def _print_results(network, origin, results, trace, k, out) -> None:
+    rows = []
+    for document in results[:k]:
+        details = network.fetch_document(origin, document.doc_id,
+                                         terms=trace.query.terms)
+        title = details.get("title") if details.get("ok") else \
+            f"<{details.get('error')}>"
+        url = details.get("url", "")
+        rows.append([document.doc_id, f"{document.score:.3f}",
+                     title, url])
+    print(format_table(["doc", "score", "title", "url"], rows),
+          file=out)
+    print(f"[{trace.probed_count} keys probed, "
+          f"{trace.skipped_count} skipped, {trace.bytes_sent} bytes, "
+          f"{trace.lookup_hops} hops]", file=out)
+
+
+def _command_demo(args, out) -> int:
+    network = _build_network(args)
+    print(f"{network}", file=out)
+    workload = QueryWorkload.from_documents(
+        list(_all_documents(network)),
+        QueryWorkloadConfig(pool_size=max(args.queries, 1),
+                            seed=args.seed))
+    origin = network.peer_ids()[0]
+    rng = make_rng(args.seed, "cli-demo")
+    for index in range(args.queries):
+        query_terms = list(workload.sample(rng))
+        print(f"\nquery: {' '.join(query_terms)}", file=out)
+        results, trace = network.query(origin, query_terms)
+        _print_results(network, origin, results, trace, args.k, out)
+    return 0
+
+
+def _command_query(args, out) -> int:
+    network = _build_network(args)
+    origin = network.peer_ids()[0]
+    try:
+        results, trace = network.query(origin, args.text,
+                                       refine=args.refine)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not results:
+        print("no results", file=out)
+        return 1
+    _print_results(network, origin, results, trace, args.k, out)
+    return 0
+
+
+def _command_monitor(args, out) -> int:
+    network = _build_network(args)
+    workload = QueryWorkload.from_documents(
+        list(_all_documents(network)),
+        QueryWorkloadConfig(pool_size=max(args.queries, 1),
+                            seed=args.seed))
+    rng = make_rng(args.seed, "cli-monitor")
+    origins = network.peer_ids()
+    for index in range(args.queries):
+        network.query(origins[index % len(origins)],
+                      list(workload.sample(rng)))
+    print(NetworkMonitor(network).render(), file=out)
+    return 0
+
+
+def _all_documents(network):
+    for peer in network.peers():
+        yield from peer.engine.store
+
+
+_COMMANDS = {
+    "demo": _command_demo,
+    "query": _command_query,
+    "monitor": _command_monitor,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Document access rights (Section 4, "Document access").
+
+"As local documents always remain at the peer that holds them, the
+document owner can define specific access rights for them.  For example,
+the user can choose that a document can be freely accessible or has a
+limited access controlled by a username and a password."
+
+Access control is enforced at the owning peer when a remote peer fetches
+the document body (``DocFetch``); the global index only ever carries
+document references, so protected *content* never leaves its peer without
+credentials.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["AccessControlError", "AccessPolicy", "AccessManager"]
+
+
+class AccessControlError(Exception):
+    """Raised when a fetch violates the document's access policy."""
+
+
+def _digest(username: str, password: str) -> str:
+    """Salted credential digest; peers never store plaintext passwords."""
+    material = f"alvis:{username}:{password}".encode("utf-8")
+    return hashlib.sha256(material).hexdigest()
+
+
+@dataclass(frozen=True)
+class AccessPolicy:
+    """Either free access or username/password protection."""
+
+    protected: bool = False
+    credential_digest: Optional[str] = None
+
+    @staticmethod
+    def public() -> "AccessPolicy":
+        """Freely accessible (the default)."""
+        return AccessPolicy(protected=False)
+
+    @staticmethod
+    def password(username: str, password: str) -> "AccessPolicy":
+        """Protected by a username/password pair."""
+        if not username or not password:
+            raise ValueError("username and password must be non-empty")
+        return AccessPolicy(protected=True,
+                            credential_digest=_digest(username, password))
+
+    def permits(self, credentials: Optional[Tuple[str, str]]) -> bool:
+        """True when ``credentials`` satisfy the policy."""
+        if not self.protected:
+            return True
+        if credentials is None:
+            return False
+        username, password = credentials
+        return _digest(username, password) == self.credential_digest
+
+
+class AccessManager:
+    """Per-peer registry of document policies."""
+
+    def __init__(self):
+        self._policies: Dict[int, AccessPolicy] = {}
+
+    def set_policy(self, doc_id: int, policy: AccessPolicy) -> None:
+        """Attach a policy to a document."""
+        self._policies[doc_id] = policy
+
+    def policy(self, doc_id: int) -> AccessPolicy:
+        """The document's policy (public when never set)."""
+        return self._policies.get(doc_id, AccessPolicy.public())
+
+    def check(self, doc_id: int,
+              credentials: Optional[Tuple[str, str]] = None) -> None:
+        """Raise :class:`AccessControlError` unless access is permitted."""
+        if not self.policy(doc_id).permits(credentials):
+            raise AccessControlError(
+                f"access to document {doc_id} denied")
+
+    def remove(self, doc_id: int) -> None:
+        """Drop a document's policy (when the document is unshared)."""
+        self._policies.pop(doc_id, None)

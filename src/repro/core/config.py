@@ -1,0 +1,146 @@
+"""Configuration shared by the distributed indexing/retrieval components.
+
+The defaults are scaled for laptop-size collections (hundreds to a few
+thousand documents); the benchmarks sweep the parameters the paper's
+companion evaluations sweep (truncation bound, DF_max, key size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["AlvisConfig"]
+
+
+@dataclass(frozen=True)
+class AlvisConfig:
+    """All tunables of layers 3 and 4."""
+
+    # ------------------------------------------------------------------
+    # Posting-list truncation (both strategies)
+    # ------------------------------------------------------------------
+
+    #: Bound on stored/transmitted posting-list length ("the transmitted
+    #: posting lists never exceed a constant size").
+    truncation_k: int = 20
+
+    # ------------------------------------------------------------------
+    # HDK (Highly Discriminative Keys)
+    # ------------------------------------------------------------------
+
+    #: A key is *discriminative* when its global df is at most this bound;
+    #: above it, the key is expanded with additional terms.
+    df_max: int = 40
+
+    #: Maximum key size (number of terms); expansions stop here.
+    s_max: int = 3
+
+    #: Proximity window (in index-term positions) within which an
+    #: expansion term must co-occur with the key being expanded.
+    proximity_window: int = 12
+
+    #: Cap on expansion candidates taken per non-discriminative key at one
+    #: peer (most locally frequent first); keeps the candidate explosion
+    #: polynomial, as the HDK paper's pruning rules do.
+    max_expansions_per_key: int = 20
+
+    #: Rare-combination filter: an expansion candidate must co-occur with
+    #: the key (within the proximity window) in at least this many local
+    #: documents.  The HDK paper prunes such rare combinations — they are
+    #: already served by their sub-keys, so indexing them would only
+    #: inflate the key vocabulary.
+    expansion_min_df: int = 2
+
+    # ------------------------------------------------------------------
+    # QDI (Query-Driven Indexing)
+    # ------------------------------------------------------------------
+
+    #: Popularity count at which a missing key is indexed on demand.
+    qdi_activation_threshold: int = 3
+
+    #: Multiplicative popularity decay applied every maintenance round.
+    qdi_decay: float = 0.5
+
+    #: Indexed multi-term keys whose decayed popularity falls below this
+    #: are evicted.
+    qdi_eviction_threshold: float = 0.25
+
+    #: Queries between two maintenance (decay + eviction) rounds at a peer.
+    qdi_maintenance_interval: int = 50
+
+    #: Maximum number of contributor peers contacted during on-demand
+    #: indexing (highest local df first).
+    qdi_harvest_fanout: int = 16
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    #: Results returned to the user.
+    result_k: int = 10
+
+    #: Also prune sub-lattices dominated by a *truncated* list (the
+    #: approximation of Section 2, trading marginal precision for load
+    #: balance).  Untruncated-list pruning is always on (it is lossless).
+    prune_on_truncated: bool = True
+
+    #: Latency model for lattice probes: the deployed client issues all
+    #: probes of one lattice level concurrently, so a level costs the
+    #: *maximum* of its probe round-trips rather than their sum.  Bytes
+    #: and message counts are unaffected.
+    parallel_probes: bool = True
+
+    #: Cache key->responsible-peer resolutions at the querying peer.
+    #: Repeated queries then skip the O(log n) lookup; the cache is
+    #: invalidated wholesale on any membership change (off by default so
+    #: traffic measurements reflect cold routing).
+    cache_lookups: bool = False
+
+    #: Bound on cached resolutions per peer.
+    lookup_cache_size: int = 4096
+
+    #: Perform the second "refinement" step: forward the query to the
+    #: local engines of peers holding the first-step results.
+    refine_with_local_engines: bool = False
+
+    #: Refinement re-scores a candidate pool of ``result_k *
+    #: refine_pool_factor`` first-step documents, then returns the top
+    #: ``result_k`` — a larger pool lets exact scoring recover documents
+    #: the approximate first step under-ranked.
+    refine_pool_factor: int = 3
+
+    # ------------------------------------------------------------------
+
+    def __post_init__(self):
+        if self.truncation_k <= 0:
+            raise ValueError("truncation_k must be positive")
+        if self.df_max <= 0:
+            raise ValueError("df_max must be positive")
+        if self.s_max < 1:
+            raise ValueError("s_max must be >= 1")
+        if self.proximity_window < 1:
+            raise ValueError("proximity_window must be >= 1")
+        if self.max_expansions_per_key < 1:
+            raise ValueError("max_expansions_per_key must be >= 1")
+        if self.expansion_min_df < 1:
+            raise ValueError("expansion_min_df must be >= 1")
+        if self.qdi_activation_threshold < 1:
+            raise ValueError("qdi_activation_threshold must be >= 1")
+        if not 0 < self.qdi_decay <= 1:
+            raise ValueError("qdi_decay must be in (0, 1]")
+        if self.qdi_eviction_threshold < 0:
+            raise ValueError("qdi_eviction_threshold must be >= 0")
+        if self.qdi_maintenance_interval < 1:
+            raise ValueError("qdi_maintenance_interval must be >= 1")
+        if self.qdi_harvest_fanout < 1:
+            raise ValueError("qdi_harvest_fanout must be >= 1")
+        if self.result_k <= 0:
+            raise ValueError("result_k must be positive")
+        if self.refine_pool_factor < 1:
+            raise ValueError("refine_pool_factor must be >= 1")
+        if self.lookup_cache_size < 1:
+            raise ValueError("lookup_cache_size must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "AlvisConfig":
+        """Return a copy with the given fields replaced (sweep helper)."""
+        return replace(self, **kwargs)

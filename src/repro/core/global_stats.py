@@ -1,0 +1,140 @@
+"""Globally aggregated collection statistics (Layer 4 substrate).
+
+The ranking layer "might use global document frequencies, average document
+length, term frequencies and other statistical information, which are
+stored in the P2P network" (Section 3).  Concretely:
+
+* each term's **global document frequency** is aggregated at the peer
+  responsible for the single-term key (contributions arrive batched in
+  ``DfPublish`` messages and are read back with ``DfGet``);
+* the **collection totals** (document count, total term count) are
+  aggregated at the peer responsible for a reserved key, and give BM25 its
+  N and average document length.
+
+Client peers cache what they fetch; the cache also doubles as the
+``document_frequencies`` callable of
+:class:`~repro.ir.scoring.CollectionStatistics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.dht.hashing import hash_string
+from repro.ir.scoring import CollectionStatistics
+
+__all__ = ["COLLECTION_KEY", "COLLECTION_KEY_ID", "CollectionTotals",
+           "StatsStore", "GlobalStatsCache"]
+
+#: Reserved DHT key under which collection totals are aggregated.
+COLLECTION_KEY = "__alvis_collection__"
+COLLECTION_KEY_ID = hash_string(COLLECTION_KEY)
+
+
+@dataclass
+class CollectionTotals:
+    """Aggregated collection-level numbers."""
+
+    num_documents: int = 0
+    total_terms: int = 0
+    num_peers: int = 0
+
+    @property
+    def average_document_length(self) -> float:
+        if self.num_documents == 0:
+            return 0.0
+        return self.total_terms / self.num_documents
+
+    def fold(self, num_documents: int, total_terms: int) -> None:
+        """Fold one peer's contribution into the totals."""
+        if num_documents < 0 or total_terms < 0:
+            raise ValueError("contributions must be non-negative")
+        self.num_documents += num_documents
+        self.total_terms += total_terms
+        self.num_peers += 1
+
+
+class StatsStore:
+    """Server side: the statistics a peer is *responsible* for."""
+
+    def __init__(self):
+        self._df: Dict[str, int] = {}
+        #: peer id -> (docs, terms) so re-publishing is idempotent.
+        self._collection_reports: Dict[int, tuple] = {}
+
+    # Term dfs ----------------------------------------------------------
+
+    def fold_dfs(self, contributions: Dict[str, int]) -> None:
+        """Accumulate a batch of local-df contributions.
+
+        Contributions may be negative *deltas* (document retraction);
+        the aggregate is floored at zero so out-of-order deltas cannot
+        drive a df negative.
+        """
+        for term, local_df in contributions.items():
+            self._df[term] = max(0, self._df.get(term, 0) + local_df)
+
+    def df(self, term: str) -> int:
+        """Aggregated global df of ``term`` (0 when unknown)."""
+        return self._df.get(term, 0)
+
+    def dfs(self, terms: Iterable[str]) -> Dict[str, int]:
+        """Batch df lookup."""
+        return {term: self._df.get(term, 0) for term in terms}
+
+    def terms_stored(self) -> int:
+        return len(self._df)
+
+    # Collection totals ---------------------------------------------------
+
+    def fold_collection(self, peer_id: int, num_documents: int,
+                        total_terms: int) -> None:
+        """Record one peer's collection report (idempotent per peer)."""
+        self._collection_reports[peer_id] = (num_documents, total_terms)
+
+    def collection_totals(self) -> CollectionTotals:
+        totals = CollectionTotals()
+        for num_documents, total_terms in self._collection_reports.values():
+            totals.fold(num_documents, total_terms)
+        return totals
+
+
+class GlobalStatsCache:
+    """Client side: cached global statistics at one peer."""
+
+    def __init__(self):
+        self._df: Dict[str, int] = {}
+        self._totals: Optional[CollectionTotals] = None
+
+    def store_dfs(self, dfs: Dict[str, int]) -> None:
+        self._df.update(dfs)
+
+    def store_totals(self, totals: CollectionTotals) -> None:
+        self._totals = totals
+
+    def df(self, term: str) -> int:
+        """Cached global df (0 when never fetched)."""
+        return self._df.get(term, 0)
+
+    def has_df(self, term: str) -> bool:
+        return term in self._df
+
+    def missing_terms(self, terms: Iterable[str]) -> List[str]:
+        """The subset of ``terms`` not yet cached."""
+        return [term for term in terms if term not in self._df]
+
+    @property
+    def totals(self) -> Optional[CollectionTotals]:
+        return self._totals
+
+    def statistics(self) -> CollectionStatistics:
+        """A BM25-ready view over the cached global numbers."""
+        if self._totals is None:
+            raise RuntimeError(
+                "collection totals not fetched; run the statistics phase")
+        return CollectionStatistics(
+            num_documents=self._totals.num_documents,
+            average_document_length=self._totals.average_document_length,
+            document_frequencies=self.df,
+        )

@@ -1,0 +1,124 @@
+"""Keys: indexing-term combinations.
+
+A key is an *unordered set* of index terms ({a,b} == {b,a}).  Keys of size
+one are the classic single-term index entries; larger keys are the
+combinations HDK and QDI add.  Canonical form is the sorted tuple of terms,
+which makes hashing, wire encoding and subset enumeration deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, Iterator, List, Tuple
+
+from repro.dht.hashing import hash_terms
+
+__all__ = ["Key"]
+
+
+class Key:
+    """An immutable, canonicalized term combination."""
+
+    __slots__ = ("terms", "_hash")
+
+    def __init__(self, terms: Iterable[str]):
+        canonical: Tuple[str, ...] = tuple(sorted(set(terms)))
+        if not canonical:
+            raise ValueError("a key needs at least one term")
+        if any(not term for term in canonical):
+            raise ValueError("key terms must be non-empty strings")
+        object.__setattr__(self, "terms", canonical)
+        object.__setattr__(self, "_hash", hash(canonical))
+
+    # Immutability ------------------------------------------------------
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Key is immutable")
+
+    # Value semantics ----------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Key):
+            return NotImplemented
+        return self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.terms)
+
+    def __repr__(self) -> str:
+        return "Key({})".format("+".join(self.terms))
+
+    # DHT mapping ---------------------------------------------------------
+
+    @property
+    def key_id(self) -> int:
+        """Identifier of this key in the DHT id space."""
+        return hash_terms(self.terms)
+
+    def wire_size(self) -> int:
+        """Bytes to encode the key in a message payload."""
+        return 4 + sum(2 + len(term.encode("utf-8")) for term in self.terms)
+
+    # Set algebra ----------------------------------------------------------
+
+    @property
+    def term_set(self) -> FrozenSet[str]:
+        return frozenset(self.terms)
+
+    def contains(self, other: "Key") -> bool:
+        """True if ``other``'s terms are a subset of this key's."""
+        return other.term_set <= self.term_set
+
+    def dominates(self, other: "Key") -> bool:
+        """True if this key strictly dominates ``other`` in the lattice.
+
+        In the query lattice, a node dominates all its *proper subsets*
+        (the part "below" it, cf. Figure 1 of the paper).
+        """
+        return other.term_set < self.term_set
+
+    def is_disjoint(self, other: "Key") -> bool:
+        """True when the two keys share no terms."""
+        return self.term_set.isdisjoint(other.term_set)
+
+    def extend(self, term: str) -> "Key":
+        """Return the key with one extra term (an HDK *expansion*)."""
+        if term in self.terms:
+            raise ValueError(f"term {term!r} already in {self!r}")
+        return Key(self.terms + (term,))
+
+    def subsets(self, size: int) -> List["Key"]:
+        """All sub-keys of exactly ``size`` terms."""
+        if not 1 <= size <= len(self.terms):
+            return []
+        return [Key(combo)
+                for combo in itertools.combinations(self.terms, size)]
+
+    def proper_subsets(self) -> List["Key"]:
+        """All proper sub-keys, largest first (lattice 'below' this node)."""
+        result = []
+        for size in range(len(self.terms) - 1, 0, -1):
+            result.extend(self.subsets(size))
+        return result
+
+    @staticmethod
+    def lattice_levels(query_terms: Iterable[str]) -> List[List["Key"]]:
+        """The query lattice as levels of decreasing combination size.
+
+        >>> levels = Key.lattice_levels(["a", "b", "c"])
+        >>> [len(level) for level in levels]
+        [1, 3, 3]
+        >>> levels[0][0]
+        Key(a+b+c)
+        """
+        full = Key(query_terms)
+        levels: List[List[Key]] = []
+        for size in range(len(full), 0, -1):
+            levels.append(full.subsets(size))
+        return levels

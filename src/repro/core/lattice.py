@@ -1,0 +1,149 @@
+"""Query-lattice exploration — the algorithm of Figure 1.
+
+"As soon as a peer receives a new query, it starts to explore the lattice
+of query term combinations in decreasing combination size order, starting
+with the query itself.  For each node in the query lattice, the querying
+peer requests the posting list associated with the term combination from
+the peer responsible for it.  If the term combination is indeed present in
+the global index, the requested posting list is sent back to the querying
+peer, and if this list is not truncated, the part of the query lattice
+dominated by the term combination is excluded from further lattice
+exploration."
+
+The optional approximation ("pruning the part of the lattice dominated by
+a key associated with a truncated posting list") is the
+``prune_on_truncated`` flag; it trades a marginal precision loss for load
+balance (experiments E1 and E6).
+
+The explorer is pure: probing is delegated to a callback, so the same
+algorithm is unit-testable offline and drives real network probes in
+:mod:`repro.core.retrieval`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.keys import Key
+from repro.ir.postings import PostingList
+
+__all__ = ["ProbeStatus", "ProbeRecord", "ExplorationOutcome",
+           "LatticeExplorer"]
+
+#: The probe callback: Key -> (found, posting list or None).
+ProbeFn = Callable[[Key], Tuple[bool, Optional[PostingList]]]
+
+
+class ProbeStatus(enum.Enum):
+    """What happened at one lattice node (the legend of Figure 1)."""
+
+    UNTRUNCATED = "untruncated"   #: indexed, complete list retrieved
+    TRUNCATED = "truncated"       #: indexed, truncated list retrieved
+    MISSING = "missing"           #: probed but not in the global index
+    SKIPPED = "skipped"           #: excluded by a dominating key
+
+
+@dataclass
+class ProbeRecord:
+    """One lattice node's outcome."""
+
+    key: Key
+    status: ProbeStatus
+    postings: Optional[PostingList] = None
+
+
+@dataclass
+class ExplorationOutcome:
+    """Everything the exploration produced."""
+
+    query: Key
+    records: List[ProbeRecord] = field(default_factory=list)
+
+    @property
+    def retrieved(self) -> Dict[Key, PostingList]:
+        """Keys whose posting lists were actually fetched."""
+        return {record.key: record.postings
+                for record in self.records
+                if record.postings is not None}
+
+    def with_status(self, status: ProbeStatus) -> List[Key]:
+        """Keys that ended in ``status``."""
+        return [record.key for record in self.records
+                if record.status == status]
+
+    @property
+    def probed_count(self) -> int:
+        """Nodes that caused a network probe (everything but SKIPPED)."""
+        return sum(1 for record in self.records
+                   if record.status != ProbeStatus.SKIPPED)
+
+    @property
+    def skipped_count(self) -> int:
+        return sum(1 for record in self.records
+                   if record.status == ProbeStatus.SKIPPED)
+
+    def missing_keys(self) -> List[Key]:
+        """Probed-but-absent combinations (QDI's indexing candidates)."""
+        return self.with_status(ProbeStatus.MISSING)
+
+    def covered_by_untruncated(self, key: Key) -> bool:
+        """True if some retrieved *untruncated* key dominates or equals
+        ``key`` — then indexing ``key`` would be redundant (QDI)."""
+        for record in self.records:
+            if record.status != ProbeStatus.UNTRUNCATED:
+                continue
+            if record.key == key or record.key.dominates(key):
+                return True
+        return False
+
+
+class LatticeExplorer:
+    """Top-down exploration with domination-based pruning."""
+
+    def __init__(self, prune_on_truncated: bool = True,
+                 max_lattice_terms: int = 8):
+        #: Queries longer than this are truncated to their first
+        #: ``max_lattice_terms`` terms — the lattice has 2^q - 1 nodes, so
+        #: unbounded q would be pathological (real engines bound query
+        #: length the same way).
+        if max_lattice_terms < 1:
+            raise ValueError("max_lattice_terms must be >= 1")
+        self.prune_on_truncated = prune_on_truncated
+        self.max_lattice_terms = max_lattice_terms
+
+    def explore(self, query_terms: Iterable[str],
+                probe: ProbeFn) -> ExplorationOutcome:
+        """Explore the lattice of ``query_terms``, probing via ``probe``.
+
+        Returns the full exploration record, in the deterministic order in
+        which nodes were visited (by decreasing size, then term order).
+        """
+        terms = list(dict.fromkeys(query_terms))[: self.max_lattice_terms]
+        if not terms:
+            raise ValueError("query has no terms")
+        query = Key(terms)
+        outcome = ExplorationOutcome(query=query)
+        excluded: set = set()
+        for level in Key.lattice_levels(terms):
+            for key in level:
+                if key in excluded:
+                    outcome.records.append(
+                        ProbeRecord(key, ProbeStatus.SKIPPED))
+                    continue
+                found, postings = probe(key)
+                if not found or postings is None:
+                    outcome.records.append(
+                        ProbeRecord(key, ProbeStatus.MISSING))
+                    continue
+                if postings.truncated:
+                    outcome.records.append(
+                        ProbeRecord(key, ProbeStatus.TRUNCATED, postings))
+                    if self.prune_on_truncated:
+                        excluded.update(key.proper_subsets())
+                else:
+                    outcome.records.append(
+                        ProbeRecord(key, ProbeStatus.UNTRUNCATED, postings))
+                    excluded.update(key.proper_subsets())
+        return outcome

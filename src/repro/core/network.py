@@ -1,0 +1,526 @@
+"""The AlvisP2P network facade.
+
+Owns the simulation substrate (event kernel, transport, DHT ring), the
+peer population, and the orchestration of the global phases:
+
+1. :meth:`run_statistics_phase` — aggregate global dfs and collection
+   totals through the DHT, then let every peer prefetch the statistics it
+   needs for publish-time scoring;
+2. :meth:`build_index` — construct the global index with the chosen
+   strategy (``"hdk"``, ``"qdi"`` or ``"single"``);
+3. :meth:`query` — multi-keyword retrieval from any peer;
+4. churn (:meth:`churn`) with byte-accounted index handover.
+
+This is the class the examples and benchmarks drive; see
+``examples/quickstart.py`` for the canonical usage.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core import protocol
+from repro.core.access import AccessPolicy
+from repro.core.config import AlvisConfig
+from repro.core.global_stats import COLLECTION_KEY_ID
+from repro.core.hdk import HDKIndexer, HDKStats
+from repro.core.keys import Key
+from repro.core.peer import AlvisPeer
+from repro.core.ranking import RankedDocument
+from repro.core.retrieval import QueryTrace, RetrievalComponent
+from repro.dht.churn import ChurnProcess
+from repro.dht.hashing import hash_string
+from repro.dht.ring import DHTRing
+from repro.dht.routing import FingerTableStrategy, HopSpaceFingers, uniform_ids
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message
+from repro.net.transport import Transport
+from repro.sim.events import Simulator
+from repro.util.rng import make_rng
+
+__all__ = ["AlvisNetwork"]
+
+
+class AlvisNetwork:
+    """A simulated AlvisP2P network of ``num_peers`` peers."""
+
+    def __init__(self, num_peers: int,
+                 config: Optional[AlvisConfig] = None,
+                 seed: int = 0,
+                 strategy: Optional[FingerTableStrategy] = None,
+                 latency: Optional[LatencyModel] = None,
+                 peer_ids: Optional[Sequence[int]] = None,
+                 account_lookups: bool = True,
+                 analyzer: Optional[Analyzer] = None,
+                 virtual_nodes: int = 1):
+        if num_peers <= 0:
+            raise ValueError(f"num_peers must be positive, got {num_peers}")
+        if virtual_nodes < 1:
+            raise ValueError(
+                f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.config = config if config is not None else AlvisConfig()
+        self.seed = seed
+        self.account_lookups = account_lookups
+        #: Virtual ring positions per peer (classic DHT load balancing:
+        #: more positions -> each peer owns several small key ranges, so
+        #: per-peer storage evens out).  Values > 1 are incompatible with
+        #: churn/crash in this implementation (see :meth:`churn`).
+        self.virtual_nodes = virtual_nodes
+        self.analyzer = analyzer if analyzer is not None else Analyzer()
+        self.simulator = Simulator()
+        self.transport = Transport(
+            self.simulator,
+            latency if latency is not None else ConstantLatency(0.02),
+            make_rng(seed, "latency"))
+        self.ring = DHTRing(
+            strategy if strategy is not None else HopSpaceFingers(),
+            self.transport)
+        if peer_ids is None:
+            peer_ids = uniform_ids(make_rng(seed, "peer-ids"), num_peers)
+        elif len(set(peer_ids)) != num_peers:
+            raise ValueError("peer_ids must be distinct and match num_peers")
+        self._peers: Dict[int, AlvisPeer] = {}
+        #: ring position -> owning peer (identity for primary positions).
+        self._virtual_to_peer: Dict[int, int] = {}
+        for peer_id in peer_ids:
+            self._add_peer(peer_id)
+        self.ring.rebuild_tables()
+        self._doc_ids = itertools.count(1)
+        self._doc_owner: Dict[int, int] = {}
+        self.mode: Optional[str] = None
+        self.retrieval = RetrievalComponent(self)
+        self._statistics_done = False
+        #: origin peer -> (membership epoch, {key_id: owner}).
+        self._lookup_caches: Dict[int, Tuple[int, Dict[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def _add_peer(self, peer_id: int) -> AlvisPeer:
+        peer = AlvisPeer(peer_id, self.config, self.analyzer)
+        peer.services = self
+        self._peers[peer_id] = peer
+        self.transport.register(peer_id, peer)
+        self.ring.add_node(peer_id)
+        self._virtual_to_peer[peer_id] = peer_id
+        for index in range(1, self.virtual_nodes):
+            virtual_id = hash_string(f"vnode/{peer_id}/{index}")
+            while (self.ring.contains(virtual_id)
+                   or virtual_id in self._virtual_to_peer):
+                virtual_id = hash_string(f"vnode/{peer_id}/{index}/retry")
+            self.ring.add_node(virtual_id)
+            self._virtual_to_peer[virtual_id] = peer_id
+            # Route traffic addressed to the virtual position to the
+            # owning peer's endpoint (LookupHop accounting needs this).
+            self.transport.register(virtual_id, peer)
+        return peer
+
+    def peer_of_ring_node(self, node_id: int) -> int:
+        """Map a ring position (possibly virtual) to its owning peer."""
+        return self._virtual_to_peer.get(node_id, node_id)
+
+    def owner_peer_of_key(self, key_id: int) -> int:
+        """The peer responsible for ``key_id`` (through virtual nodes)."""
+        return self.peer_of_ring_node(self.ring.successor_of(key_id))
+
+    @property
+    def num_peers(self) -> int:
+        return len(self._peers)
+
+    def peer(self, peer_id: int) -> AlvisPeer:
+        """The peer object for ``peer_id`` (KeyError if absent)."""
+        return self._peers[peer_id]
+
+    def peers(self) -> List[AlvisPeer]:
+        """All live peers, in id order (deterministic iteration)."""
+        return [self._peers[peer_id]
+                for peer_id in sorted(self._peers)]
+
+    def peer_ids(self) -> List[int]:
+        return sorted(self._peers)
+
+    # ------------------------------------------------------------------
+    # NetworkServices implementation (used by peers and components)
+    # ------------------------------------------------------------------
+
+    def lookup_owner(self, origin: int, key_id: int) -> Tuple[int, int]:
+        """Resolve the responsible peer; routing traffic optionally
+        accounted as ``LookupHop`` messages.
+
+        With ``config.cache_lookups`` the resolution is cached at the
+        origin peer (0 hops on a hit); the cache self-invalidates on any
+        ring membership change via the ring's membership epoch.
+        """
+        if self.config.cache_lookups:
+            epoch, cache = self._lookup_caches.get(origin, (-1, None))
+            if epoch != self.ring.membership_epoch or cache is None:
+                cache = {}
+                self._lookup_caches[origin] = (
+                    self.ring.membership_epoch, cache)
+            cached_owner = cache.get(key_id)
+            if cached_owner is not None:
+                return cached_owner, 0
+            result = self.ring.lookup(origin, key_id,
+                                      account=self.account_lookups)
+            owner = self.peer_of_ring_node(result.owner)
+            if len(cache) < self.config.lookup_cache_size:
+                cache[key_id] = owner
+            return owner, result.hops
+        result = self.ring.lookup(origin, key_id,
+                                  account=self.account_lookups)
+        return self.peer_of_ring_node(result.owner), result.hops
+
+    def send(self, origin: int, dst: int, kind: str,
+             payload: Dict[str, Any]
+             ) -> Tuple[Optional[Dict[str, Any]], float]:
+        """Deliver one request; self-addressed messages short-circuit
+        in memory (no bytes, no latency), as in the deployed system."""
+        message = Message(src=origin, dst=dst, kind=kind, payload=payload)
+        if dst == origin:
+            reply = self.transport.send_local(message)
+            return (dict(reply.payload) if reply is not None else None, 0.0)
+        reply, rtt = self.transport.request(message)
+        return (dict(reply.payload) if reply is not None else None, rtt)
+
+    # ------------------------------------------------------------------
+    # Document placement
+    # ------------------------------------------------------------------
+
+    def publish_documents(self, peer_id: int,
+                          documents: Iterable[Document],
+                          policy: Optional[AccessPolicy] = None) -> List[int]:
+        """Add documents to one peer's shared directory.
+
+        Document ids are (re)assigned by the network so they are globally
+        unique; returns the assigned ids.
+        """
+        peer = self.peer(peer_id)
+        assigned = []
+        for document in documents:
+            document.doc_id = next(self._doc_ids)
+            peer.publish_document(document, policy=policy)
+            self._doc_owner[document.doc_id] = peer_id
+            assigned.append(document.doc_id)
+        return assigned
+
+    def distribute_documents(self, documents: Sequence[Document],
+                             assignment: str = "round_robin") -> None:
+        """Spread a collection over all peers.
+
+        ``"round_robin"`` interleaves documents; ``"contiguous"`` gives
+        each peer a consecutive slice (topical locality when the corpus is
+        topic-ordered — the digital-library scenario).
+        """
+        ids = self.peer_ids()
+        if assignment == "round_robin":
+            for index, document in enumerate(documents):
+                self.publish_documents(ids[index % len(ids)], [document])
+        elif assignment == "contiguous":
+            per_peer = max(1, (len(documents) + len(ids) - 1) // len(ids))
+            for index, document in enumerate(documents):
+                owner = ids[min(index // per_peer, len(ids) - 1)]
+                self.publish_documents(owner, [document])
+        else:
+            raise ValueError(f"unknown assignment {assignment!r}")
+
+    def doc_owner(self, doc_id: int) -> Optional[int]:
+        """The peer holding ``doc_id`` (None for unknown/departed docs)."""
+        owner = self._doc_owner.get(doc_id)
+        if owner is None or owner not in self._peers:
+            return None
+        return owner
+
+    def total_documents(self) -> int:
+        return sum(peer.engine.num_documents for peer in self.peers())
+
+    # ------------------------------------------------------------------
+    # Phase 1: global statistics
+    # ------------------------------------------------------------------
+
+    def run_statistics_phase(self) -> None:
+        """Aggregate and prefetch the global BM25 statistics.
+
+        Four sub-steps, all through the DHT with byte accounting:
+        collection totals publish, per-term df publish (batched by owner),
+        collection totals fetch, and per-peer df prefetch for the local
+        vocabulary (needed to score publishable postings globally).
+        """
+        collection_owner = {}
+        for peer in self.peers():
+            owner, _hops = self.lookup_owner(peer.peer_id,
+                                             COLLECTION_KEY_ID)
+            collection_owner[peer.peer_id] = owner
+            docs, terms = peer.collection_report()
+            self.send(peer.peer_id, owner, protocol.COLLECTION_PUBLISH,
+                      {"peer": peer.peer_id, "docs": docs, "terms": terms})
+        for peer in self.peers():
+            contributions = peer.local_df_contributions()
+            for owner, batch in self._batch_by_owner(
+                    peer.peer_id, contributions).items():
+                self.send(peer.peer_id, owner, protocol.DF_PUBLISH,
+                          {"dfs": batch})
+        for peer in self.peers():
+            reply, _rtt = self.send(peer.peer_id,
+                                    collection_owner[peer.peer_id],
+                                    protocol.COLLECTION_GET, {})
+            assert reply is not None
+            from repro.core.global_stats import CollectionTotals
+            totals = CollectionTotals(num_documents=int(reply["docs"]),
+                                      total_terms=int(reply["terms"]),
+                                      num_peers=int(reply["peers"]))
+            peer.stats_cache.store_totals(totals)
+        for peer in self.peers():
+            vocabulary = peer.engine.index.vocabulary()
+            for owner, batch in self._batch_by_owner(
+                    peer.peer_id,
+                    {term: 0 for term in vocabulary}).items():
+                reply, _rtt = self.send(peer.peer_id, owner,
+                                        protocol.DF_GET,
+                                        {"terms": sorted(batch)})
+                if reply is not None:
+                    peer.stats_cache.store_dfs(dict(reply["dfs"]))
+        self._statistics_done = True
+
+    def _batch_by_owner(self, origin: int,
+                        per_term: Dict[str, int]) -> Dict[int, Dict[str, int]]:
+        """Group a per-term mapping by the owner of each term's key."""
+        batches: Dict[int, Dict[str, int]] = {}
+        for term, value in per_term.items():
+            owner, _hops = self.lookup_owner(origin, Key([term]).key_id)
+            batches.setdefault(owner, {})[term] = value
+        return batches
+
+    # ------------------------------------------------------------------
+    # Phase 2: index construction
+    # ------------------------------------------------------------------
+
+    def build_index(self, mode: str = "hdk") -> HDKStats:
+        """Construct the global index.
+
+        ``"hdk"`` — full HDK rounds; ``"qdi"`` — single-term base plus
+        query-driven managers at every peer; ``"single"`` — single-term
+        base only (the unscalable-baseline comparison uses
+        :mod:`repro.baselines.single_term` instead, which keeps *full*
+        lists).
+        """
+        if not self._statistics_done:
+            self.run_statistics_phase()
+        indexer = HDKIndexer(self)
+        if mode == "hdk":
+            stats = indexer.build()
+        elif mode == "qdi":
+            stats = indexer.build_single_term_only()
+            for peer in self.peers():
+                peer.enable_qdi()
+        elif mode == "single":
+            stats = indexer.build_single_term_only()
+        else:
+            raise ValueError(f"unknown index mode {mode!r}")
+        self.mode = mode
+        return stats
+
+    def publish_incremental(self, peer_id: int, document: Document,
+                            policy: Optional[AccessPolicy] = None) -> int:
+        """Publish one new document after the index was built.
+
+        Updates the peer's local engine, pushes df deltas and the
+        document's single-term postings into the global index — the
+        steady-state "index some new documents" flow of the demo.
+        """
+        doc_id = self.publish_documents(peer_id, [document], policy)[0]
+        peer = self.peer(peer_id)
+        terms = sorted(set(self.analyzer.analyze(document.text)))
+        for owner, batch in self._batch_by_owner(
+                peer_id, {term: 1 for term in terms}).items():
+            self.send(peer_id, owner, protocol.DF_PUBLISH, {"dfs": batch})
+        stats = (peer.stats_cache.statistics()
+                 if peer.stats_cache.totals is not None else None)
+        for term in terms:
+            key = Key([term])
+            postings = peer.engine.top_k_for_key(
+                [term], self.config.truncation_k, stats=stats)
+            owner, _hops = self.lookup_owner(peer_id, key.key_id)
+            payload = {"contributor": peer_id,
+                       "items": [{"key_terms": [term],
+                                  "postings": postings,
+                                  "local_df": postings.global_df}]}
+            self.send(peer_id, owner, protocol.PUBLISH_KEY, payload)
+        return doc_id
+
+    def unpublish(self, peer_id: int, doc_id: int) -> None:
+        """Remove a shared document and retract it from the global index.
+
+        The holder removes the document locally, pushes negative df
+        deltas to the term owners, and sends ``RetractDoc`` to the
+        responsible peer of each of the document's single-term keys.
+        Combination keys that still reference the document are cleaned
+        lazily: the retrieval path drops results whose document no
+        longer resolves to a live owner.
+        """
+        peer = self.peer(peer_id)
+        document = peer.engine.store.get(doc_id)
+        if document is None:
+            raise KeyError(f"peer {peer_id} does not hold doc {doc_id}")
+        terms = sorted(set(self.analyzer.analyze(document.text)))
+        peer.unpublish_document(doc_id)
+        self._doc_owner.pop(doc_id, None)
+        for owner, batch in self._batch_by_owner(
+                peer_id, {term: -1 for term in terms}).items():
+            self.send(peer_id, owner, protocol.DF_PUBLISH,
+                      {"dfs": batch})
+        for term in terms:
+            key = Key([term])
+            owner, _hops = self.lookup_owner(peer_id, key.key_id)
+            payload = {"key_terms": [term], "doc_id": doc_id,
+                       "contributor": peer_id,
+                       "new_local_df":
+                       peer.engine.index.document_frequency(term)}
+            self.send(peer_id, owner, protocol.RETRACT_DOC, payload)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def query(self, origin: int, query: Union[str, Sequence[str]],
+              refine: Optional[bool] = None
+              ) -> Tuple[List[RankedDocument], QueryTrace]:
+        """Run one multi-keyword query from peer ``origin``."""
+        return self.retrieval.query(origin, query, refine=refine)
+
+    def fetch_document(self, origin: int, doc_id: int,
+                       credentials: Optional[Tuple[str, str]] = None,
+                       terms: Sequence[str] = ()) -> Dict[str, Any]:
+        """Fetch result presentation data (title, URL, snippet) from the
+        document's holder, subject to its access policy."""
+        owner = self.doc_owner(doc_id)
+        if owner is None:
+            return {"ok": False, "error": "owner-departed"}
+        payload = {"doc_id": doc_id,
+                   "credentials": list(credentials) if credentials else None,
+                   "terms": list(terms)}
+        reply, _rtt = self.send(origin, owner, protocol.DOC_FETCH, payload)
+        return reply if reply is not None else {"ok": False,
+                                                "error": "no-reply"}
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+
+    def churn(self) -> ChurnProcess:
+        """A churn process wired for index handover on this network.
+
+        Not supported together with ``virtual_nodes > 1`` (handover of a
+        departing peer would need to vacate several ring positions
+        atomically, which this implementation does not model).
+        """
+        if self.virtual_nodes > 1:
+            raise NotImplementedError(
+                "churn is not supported with virtual_nodes > 1")
+        return ChurnProcess(self.ring, make_rng(self.seed, "churn"),
+                            on_handover=self._handover)
+
+    def fail_peer(self, peer_id: int) -> None:
+        """Crash a peer: no handover, no goodbye.
+
+        Its index fragment, replicas and documents vanish with it; the
+        ring and routing tables converge to the survivors.  Use
+        :class:`repro.core.replication.ReplicationManager` beforehand to
+        make the global index survive (see
+        ``tests/test_core_replication.py``).
+        """
+        if peer_id not in self._peers:
+            raise KeyError(f"peer {peer_id} not present")
+        if self.num_peers <= 1:
+            raise ValueError("cannot crash the last peer")
+        if self.virtual_nodes > 1:
+            raise NotImplementedError(
+                "fail_peer is not supported with virtual_nodes > 1")
+        self.ring.remove_node(peer_id)
+        self.ring.rebuild_tables()
+        self.transport.unregister(peer_id)
+        del self._peers[peer_id]
+
+    def _handover(self, from_peer: int, to_peer: int,
+                  range_lo: int, range_hi: int) -> None:
+        """Move the index entries of a key range between peers."""
+        if from_peer == to_peer:
+            return
+        source = self._peers.get(from_peer)
+        if source is None:
+            return
+        target = self._peers.get(to_peer)
+        if target is None:
+            # Joining node: create the peer before receiving its range.
+            target = self._add_peer_object_only(to_peer)
+        entries = source.fragment.extract_range(range_lo, range_hi)
+        if entries:
+            self.send(from_peer, to_peer, protocol.HANDOVER,
+                      {"entries": entries})
+        if not self.ring.contains(from_peer):
+            # Graceful departure: detach the endpoint after handover.
+            self.transport.unregister(from_peer)
+            del self._peers[from_peer]
+
+    def _add_peer_object_only(self, peer_id: int) -> AlvisPeer:
+        """Create and register a peer whose ring node already exists
+        (ChurnProcess adds the ring node itself)."""
+        peer = AlvisPeer(peer_id, self.config, self.analyzer)
+        peer.services = self
+        if self.mode == "qdi":
+            peer.enable_qdi()
+        self._peers[peer_id] = peer
+        self.transport.register(peer_id, peer)
+        return peer
+
+    # ------------------------------------------------------------------
+    # Accounting helpers (used by repro.eval and the benchmarks)
+    # ------------------------------------------------------------------
+
+    def bytes_sent_total(self) -> float:
+        return self.simulator.metrics.counter_value("net.bytes.sent")
+
+    def bytes_by_kind(self) -> Dict[str, float]:
+        prefix = "net.bytes.sent."
+        return {name[len(prefix):]: value
+                for name, value in self.simulator.metrics
+                .counters_with_prefix(prefix).items()}
+
+    def messages_sent_total(self) -> float:
+        return self.simulator.metrics.counter_value("net.msgs.sent")
+
+    def reset_traffic(self) -> None:
+        """Zero all traffic counters (between experiment phases)."""
+        self.simulator.metrics.reset()
+        self.transport.reset_load_counters()
+
+    def per_peer_index_storage(self) -> Dict[int, int]:
+        """Bytes of global-index state per peer (experiment E3/E6)."""
+        return {peer.peer_id: peer.fragment.storage_bytes()
+                for peer in self.peers()}
+
+    def per_peer_postings(self) -> Dict[int, int]:
+        """Stored posting entries per peer."""
+        return {peer.peer_id: peer.fragment.postings_stored()
+                for peer in self.peers()}
+
+    def per_peer_messages_in(self) -> Dict[int, int]:
+        """Inbound messages per *peer*, aggregating virtual positions."""
+        totals: Dict[int, int] = {peer_id: 0
+                                  for peer_id in self._peers}
+        for node_id, count in self.transport.msgs_in.items():
+            peer_id = self.peer_of_ring_node(node_id)
+            if peer_id in totals:
+                totals[peer_id] += count
+        return totals
+
+    def total_keys(self) -> int:
+        """Number of (key, owner) entries in the global index."""
+        return sum(len(peer.fragment) for peer in self.peers())
+
+    def __repr__(self) -> str:
+        return (f"AlvisNetwork(peers={self.num_peers}, "
+                f"docs={self.total_documents()}, mode={self.mode})")

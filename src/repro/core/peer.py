@@ -1,0 +1,305 @@
+"""The AlvisP2P peer: all five layers composed into one endpoint.
+
+A peer simultaneously plays two roles (Section 2):
+
+* it *owns documents* — a local search engine (L5) indexes its shared
+  directory, generates index entries for the global index, and answers
+  refinement/harvest/document requests about its documents;
+* it *maintains a fraction of the global index* — the keys the DHT assigns
+  to it, with aggregated truncated posting lists, contributor sets,
+  global term statistics and (under QDI) popularity monitoring.
+
+All network-facing behaviour is in :meth:`on_message`, keyed by the
+protocol kinds of :mod:`repro.core.protocol`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core import protocol
+from repro.core.access import AccessControlError, AccessManager, AccessPolicy
+from repro.core.config import AlvisConfig
+from repro.core.global_index import GlobalIndexFragment, KeyEntry
+from repro.core.global_stats import GlobalStatsCache, StatsStore
+from repro.core.keys import Key
+from repro.core.qdi import QDIManager
+from repro.core.services import NetworkServices
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.postings import PostingList
+from repro.ir.search import LocalSearchEngine
+from repro.net.message import Message
+
+__all__ = ["AlvisPeer"]
+
+
+class AlvisPeer:
+    """One peer of the AlvisP2P network."""
+
+    def __init__(self, peer_id: int, config: AlvisConfig,
+                 analyzer: Optional[Analyzer] = None):
+        self.peer_id = peer_id
+        self.config = config
+        self.engine = LocalSearchEngine(analyzer)
+        self.fragment = GlobalIndexFragment(config.truncation_k)
+        self.stats_store = StatsStore()
+        self.stats_cache = GlobalStatsCache()
+        self.access = AccessManager()
+        self.qdi: Optional[QDIManager] = None
+        self.services: Optional[NetworkServices] = None
+        #: Keys this peer was told to expand in the next HDK round.
+        self.pending_expansions: List[Key] = []
+        #: Replicas of other peers' entries (crash fault tolerance);
+        #: promoted to ``fragment`` by ReplicationManager.repair().
+        self.replica_store: Dict[Key, KeyEntry] = {}
+        self._handlers: Dict[str, Callable[[Message], Optional[Message]]] = {
+            protocol.LOOKUP_HOP: self._on_lookup_hop,
+            protocol.DF_PUBLISH: self._on_df_publish,
+            protocol.DF_GET: self._on_df_get,
+            protocol.COLLECTION_PUBLISH: self._on_collection_publish,
+            protocol.COLLECTION_GET: self._on_collection_get,
+            protocol.PUBLISH_KEY: self._on_publish_key,
+            protocol.EXPAND_NOTIFY: self._on_expand_notify,
+            protocol.PROBE_KEY: self._on_probe_key,
+            protocol.FEEDBACK: self._on_feedback,
+            protocol.CONTRIBUTORS_GET: self._on_contributors_get,
+            protocol.HARVEST_KEY: self._on_harvest_key,
+            protocol.REFINE_QUERY: self._on_refine_query,
+            protocol.DOC_FETCH: self._on_doc_fetch,
+            protocol.RETRACT_DOC: self._on_retract_doc,
+            protocol.HANDOVER: self._on_handover,
+            "ReplicaPush": self._on_replica_push,
+        }
+
+    # ------------------------------------------------------------------
+    # Local document management (the "shared directory")
+    # ------------------------------------------------------------------
+
+    def publish_document(self, document: Document,
+                         policy: Optional[AccessPolicy] = None) -> None:
+        """Add a document to the shared directory and the local index.
+
+        Making it visible in the *global* index additionally requires an
+        indexing round (HDK build or QDI single-term base) — the network
+        facade offers :meth:`AlvisNetwork.publish_incremental` for
+        post-build additions.
+        """
+        document.owner_peer = self.peer_id
+        self.engine.add_document(document)
+        if policy is not None:
+            self.access.set_policy(document.doc_id, policy)
+
+    def unpublish_document(self, doc_id: int) -> Document:
+        """Remove a document from the shared directory and local index."""
+        self.access.remove(doc_id)
+        return self.engine.remove_document(doc_id)
+
+    def enable_qdi(self) -> None:
+        """Attach a query-driven indexing manager to this peer."""
+        self.qdi = QDIManager(self, self.config)
+
+    # ------------------------------------------------------------------
+    # Contributions to the statistics phase
+    # ------------------------------------------------------------------
+
+    def local_df_contributions(self) -> Dict[str, int]:
+        """{term: local df} over this peer's collection."""
+        index = self.engine.index
+        return {term: index.document_frequency(term)
+                for term in index.vocabulary()}
+
+    def collection_report(self) -> Tuple[int, int]:
+        """(number of local documents, total local term count)."""
+        return self.engine.index.num_documents, self.engine.index.total_terms
+
+    def global_statistics(self):
+        """BM25-ready global statistics (after the statistics phase)."""
+        return self.stats_cache.statistics()
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> Optional[Message]:
+        """Transport entry point."""
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            raise ValueError(
+                f"peer {self.peer_id} cannot handle {message.kind!r}")
+        return handler(message)
+
+    # -- overlay ---------------------------------------------------------
+
+    def _on_lookup_hop(self, message: Message) -> Optional[Message]:
+        return None  # routing hop; nothing to do at the IR layer
+
+    # -- statistics -------------------------------------------------------
+
+    def _on_df_publish(self, message: Message) -> Optional[Message]:
+        self.stats_store.fold_dfs(dict(message.payload["dfs"]))
+        return None
+
+    def _on_df_get(self, message: Message) -> Optional[Message]:
+        terms = list(message.payload["terms"])
+        return message.reply(protocol.DF_REPLY,
+                             {"dfs": self.stats_store.dfs(terms)})
+
+    def _on_collection_publish(self, message: Message) -> Optional[Message]:
+        payload = message.payload
+        self.stats_store.fold_collection(int(payload["peer"]),
+                                         int(payload["docs"]),
+                                         int(payload["terms"]))
+        return None
+
+    def _on_collection_get(self, message: Message) -> Optional[Message]:
+        totals = self.stats_store.collection_totals()
+        return message.reply(protocol.COLLECTION_REPLY,
+                             {"docs": totals.num_documents,
+                              "terms": totals.total_terms,
+                              "peers": totals.num_peers})
+
+    # -- index construction ------------------------------------------------
+
+    def _on_publish_key(self, message: Message) -> Optional[Message]:
+        contributor = int(message.payload["contributor"])
+        accepted = 0
+        for item in message.payload["items"]:
+            key = Key(item["key_terms"])
+            postings: PostingList = item["postings"]
+            self.fragment.publish(key, postings, int(item["local_df"]),
+                                  contributor,
+                                  on_demand=bool(item.get("on_demand")))
+            accepted += 1
+        return message.reply(protocol.PUBLISH_ACK, {"accepted": accepted})
+
+    def _on_expand_notify(self, message: Message) -> Optional[Message]:
+        self.pending_expansions.append(Key(message.payload["key_terms"]))
+        return None
+
+    # -- retrieval ----------------------------------------------------------
+
+    def _on_probe_key(self, message: Message) -> Optional[Message]:
+        key = Key(message.payload["key_terms"])
+        entry = self.fragment.get(key)
+        found = entry is not None and (bool(entry.postings)
+                                       or bool(entry.contributors))
+        if self.qdi is not None:
+            self.qdi.on_probe(key, found)
+        if not found:
+            return message.reply(protocol.PROBE_REPLY,
+                                 {"found": False, "postings": None})
+        assert entry is not None
+        return message.reply(protocol.PROBE_REPLY,
+                             {"found": True, "postings": entry.postings})
+
+    def _on_feedback(self, message: Message) -> Optional[Message]:
+        if self.qdi is not None:
+            key = Key(message.payload["key_terms"])
+            self.qdi.on_feedback(key, bool(message.payload["redundant"]))
+        return None
+
+    # -- on-demand indexing support -----------------------------------------
+
+    def _on_contributors_get(self, message: Message) -> Optional[Message]:
+        key = Key([message.payload["term"]])
+        entry = self.fragment.get(key)
+        contributors = dict(entry.contributors) if entry else {}
+        return message.reply(protocol.CONTRIBUTORS_REPLY,
+                             {"contributors": contributors})
+
+    def _on_harvest_key(self, message: Message) -> Optional[Message]:
+        terms = list(message.payload["key_terms"])
+        k = int(message.payload["k"])
+        stats = (self.stats_cache.statistics()
+                 if self.stats_cache.totals is not None else None)
+        postings = self.engine.top_k_for_key(terms, k, stats=stats)
+        return message.reply(protocol.HARVEST_REPLY,
+                             {"postings": postings,
+                              "local_df": postings.global_df})
+
+    # -- two-step refinement and document access ------------------------------
+
+    def _on_refine_query(self, message: Message) -> Optional[Message]:
+        terms = list(message.payload["terms"])
+        stats = (self.stats_cache.statistics()
+                 if self.stats_cache.totals is not None else None)
+        scores: Dict[int, float] = {}
+        for doc_id in message.payload["doc_ids"]:
+            doc_id = int(doc_id)
+            if self.engine.store.get(doc_id) is None:
+                continue
+            scores[doc_id] = self.engine.score_document(doc_id, terms,
+                                                        stats=stats)
+        return message.reply(protocol.REFINE_REPLY, {"scores": scores})
+
+    def _on_doc_fetch(self, message: Message) -> Optional[Message]:
+        doc_id = int(message.payload["doc_id"])
+        raw_credentials = message.payload.get("credentials")
+        credentials = (tuple(raw_credentials)
+                       if raw_credentials is not None else None)
+        document = self.engine.store.get(doc_id)
+        if document is None:
+            return message.reply(protocol.DOC_REPLY,
+                                 {"ok": False, "error": "not-found"})
+        try:
+            self.access.check(doc_id, credentials)
+        except AccessControlError:
+            return message.reply(protocol.DOC_REPLY,
+                                 {"ok": False, "error": "access-denied"})
+        terms = list(message.payload.get("terms", []))
+        snippet = self.engine.make_snippet(document, terms)
+        return message.reply(protocol.DOC_REPLY,
+                             {"ok": True, "title": document.title,
+                              "url": document.url, "snippet": snippet})
+
+    # -- document lifecycle ----------------------------------------------------
+
+    def _on_retract_doc(self, message: Message) -> Optional[Message]:
+        """Remove one document's posting from a key this peer owns.
+
+        Sent by the document's holder on unpublish, for the document's
+        single-term keys.  Multi-term combination keys are cleaned up
+        lazily (the querying peer filters results whose document no
+        longer resolves to a live owner).
+        """
+        key = Key(message.payload["key_terms"])
+        doc_id = int(message.payload["doc_id"])
+        contributor = int(message.payload["contributor"])
+        new_local_df = int(message.payload["new_local_df"])
+        entry = self.fragment.get(key)
+        if entry is None:
+            return None
+        remaining = [posting for posting in entry.postings
+                     if posting.doc_id != doc_id]
+        if new_local_df > 0:
+            entry.contributors[contributor] = new_local_df
+        else:
+            entry.contributors.pop(contributor, None)
+        entry.global_df = sum(entry.contributors.values())
+        entry.postings = PostingList(
+            remaining, global_df=max(entry.global_df, len(remaining)))
+        if not entry.postings and not entry.contributors:
+            self.fragment.remove(key)
+        return None
+
+    # -- churn ----------------------------------------------------------------
+
+    def _on_handover(self, message: Message) -> Optional[Message]:
+        for entry in message.payload["entries"]:
+            assert isinstance(entry, KeyEntry)
+            self.fragment.install(entry)
+        return None
+
+    def _on_replica_push(self, message: Message) -> Optional[Message]:
+        for entry in message.payload["entries"]:
+            assert isinstance(entry, KeyEntry)
+            self.replica_store[entry.key] = entry
+        return None
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (f"AlvisPeer(id={self.peer_id}, "
+                f"docs={self.engine.num_documents}, "
+                f"keys={len(self.fragment)})")

@@ -1,0 +1,135 @@
+"""Persistence of global-index fragments (peer restart).
+
+The AlvisP2P client is long-lived desktop software: a peer that restarts
+must not rebuild its fraction of the global index from scratch (that
+would re-trigger network-wide publishing).  This module serializes a
+peer's index fragment — keys, truncated posting lists, aggregated dfs,
+contributor sets, popularity — to a JSON document and restores it.
+
+JSON is chosen over pickle deliberately: the on-disk state outlives
+library versions and must be inspectable/diffable; every field is a
+plain scalar or list.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, TYPE_CHECKING
+
+from repro.core.global_index import GlobalIndexFragment, KeyEntry
+from repro.core.keys import Key
+from repro.ir.postings import Posting, PostingList
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network import AlvisNetwork
+
+__all__ = ["entry_to_dict", "entry_from_dict", "fragment_to_dict",
+           "fragment_from_dict", "save_fragment", "load_fragment",
+           "save_network_index", "load_network_index"]
+
+_FORMAT_VERSION = 1
+
+
+def entry_to_dict(entry: KeyEntry) -> Dict[str, Any]:
+    """Serialize one key entry to plain JSON-compatible data."""
+    return {
+        "key": list(entry.key.terms),
+        "postings": [[posting.doc_id, posting.score]
+                     for posting in entry.postings],
+        "postings_global_df": entry.postings.global_df,
+        "global_df": entry.global_df,
+        "contributors": {str(peer): df
+                         for peer, df in entry.contributors.items()},
+        "popularity": entry.popularity,
+        "on_demand": entry.on_demand,
+    }
+
+
+def entry_from_dict(data: Dict[str, Any]) -> KeyEntry:
+    """Rebuild a key entry; raises ValueError on malformed data."""
+    try:
+        postings = PostingList(
+            [Posting(int(doc_id), float(score))
+             for doc_id, score in data["postings"]],
+            global_df=int(data["postings_global_df"]))
+        return KeyEntry(
+            key=Key(data["key"]),
+            postings=postings,
+            global_df=int(data["global_df"]),
+            contributors={int(peer): int(df)
+                          for peer, df in data["contributors"].items()},
+            popularity=float(data["popularity"]),
+            on_demand=bool(data["on_demand"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed entry record: {error}") from error
+
+
+def fragment_to_dict(fragment: GlobalIndexFragment) -> Dict[str, Any]:
+    """Serialize a whole fragment."""
+    return {
+        "version": _FORMAT_VERSION,
+        "truncation_k": fragment.truncation_k,
+        "entries": [entry_to_dict(entry) for entry in fragment],
+    }
+
+
+def fragment_from_dict(data: Dict[str, Any]) -> GlobalIndexFragment:
+    """Rebuild a fragment; rejects unknown format versions."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported fragment format version "
+                         f"{version!r}")
+    fragment = GlobalIndexFragment(int(data["truncation_k"]))
+    for record in data["entries"]:
+        fragment.install(entry_from_dict(record))
+    return fragment
+
+
+def save_fragment(fragment: GlobalIndexFragment, path: str) -> None:
+    """Write a fragment to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(fragment_to_dict(fragment), handle)
+
+
+def load_fragment(path: str) -> GlobalIndexFragment:
+    """Read a fragment back from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return fragment_from_dict(json.load(handle))
+
+
+def save_network_index(network: "AlvisNetwork", path: str) -> None:
+    """Persist every peer's fragment keyed by peer id (one JSON file)."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "mode": network.mode,
+        "fragments": {str(peer.peer_id):
+                      fragment_to_dict(peer.fragment)
+                      for peer in network.peers()},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_network_index(network: "AlvisNetwork", path: str) -> int:
+    """Restore fragments into an existing network.
+
+    Peers present in the file but absent from the network are skipped
+    (they may have churned out); returns the number of fragments
+    restored.  The network's ``mode`` is restored as well.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported index format version {payload.get('version')!r}")
+    restored = 0
+    live = set(network.peer_ids())
+    for peer_text, fragment_data in payload["fragments"].items():
+        peer_id = int(peer_text)
+        if peer_id not in live:
+            continue
+        network.peer(peer_id).fragment = fragment_from_dict(fragment_data)
+        restored += 1
+    network.mode = payload.get("mode")
+    return restored

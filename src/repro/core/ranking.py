@@ -1,0 +1,85 @@
+"""Result merging and distributed ranking (Layer 4).
+
+"Once the lattice exploration process terminates and all available posting
+lists relevant to the original query have been retrieved, the querying
+peer produces their union, ranks all the documents w.r.t the original
+query, and presents the top-ranked results to the user."
+
+Each retrieved posting carries the BM25 score of its document *for that
+key's terms*, computed against global collection statistics at publish
+time.  To rank a document with respect to the full query, the merger
+combines scores from a **greedy disjoint cover** of the query terms:
+score contributions are only summed across keys that share no terms, so no
+query term is counted twice.  For the paper's canonical example (query
+``abc`` answered from keys ``bc`` and ``a``) this reproduces the exact
+BM25 decomposition score(abc) = score(bc) + score(a).
+
+The optional second step ("refinement") re-scores the first-step
+candidates exactly at the peers that hold the documents; see
+:mod:`repro.core.retrieval`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.keys import Key
+from repro.ir.postings import PostingList
+
+__all__ = ["RankedDocument", "merge_and_rank"]
+
+
+@dataclass
+class RankedDocument:
+    """A merged candidate with its combined score and provenance."""
+
+    doc_id: int
+    score: float
+    covering_keys: Tuple[Key, ...]
+
+    @property
+    def terms_covered(self) -> frozenset:
+        covered: frozenset = frozenset()
+        for key in self.covering_keys:
+            covered |= key.term_set
+        return covered
+
+
+def merge_and_rank(retrieved: Mapping[Key, PostingList],
+                   query: Key, k: int) -> List[RankedDocument]:
+    """Union the retrieved lists and rank documents for the query.
+
+    For every document, the available (key, score) pairs are combined
+    greedily: keys are considered in descending score order and a key's
+    score is added only when it is term-disjoint from every key already
+    counted for that document.  Documents are then ranked by combined
+    score (ties broken by doc id for determinism) and the top ``k``
+    returned.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    per_document: Dict[int, List[Tuple[float, Key]]] = {}
+    for key, postings in retrieved.items():
+        for posting in postings:
+            per_document.setdefault(posting.doc_id, []).append(
+                (posting.score, key))
+    ranked: List[RankedDocument] = []
+    for doc_id, contributions in per_document.items():
+        # Deterministic greedy order: best score first, then smaller keys
+        # (a high-scoring large key should win over its own sub-keys).
+        contributions.sort(key=lambda pair: (-pair[0], len(pair[1]),
+                                             pair[1].terms))
+        chosen: List[Key] = []
+        covered: frozenset = frozenset()
+        total = 0.0
+        for score, key in contributions:
+            if covered & key.term_set:
+                continue
+            chosen.append(key)
+            covered |= key.term_set
+            total += score
+        ranked.append(RankedDocument(doc_id=doc_id, score=total,
+                                     covering_keys=tuple(chosen)))
+    ranked.sort(key=lambda document: (-document.score, document.doc_id))
+    return ranked[:k]

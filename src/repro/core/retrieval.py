@@ -1,0 +1,203 @@
+"""The distributed retrieval component (L3/L4 query path).
+
+Drives the query-lattice exploration over the real network: every lattice
+probe is a DHT lookup plus a ``ProbeKey`` request to the responsible peer,
+with all traffic byte-accounted.  After exploration the retrieved lists
+are merged and ranked (:mod:`repro.core.ranking`); optionally the query is
+then *refined* by the local engines of the peers holding the candidate
+documents — the paper's two-step retrieval (Section 3).
+
+Under QDI, the component also sends post-query popularity feedback for the
+useful-but-missing combinations, which is what drives on-demand indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
+
+from repro.core import protocol
+from repro.core.keys import Key
+from repro.core.lattice import (
+    ExplorationOutcome,
+    LatticeExplorer,
+    ProbeStatus,
+)
+from repro.core.ranking import RankedDocument, merge_and_rank
+from repro.ir.postings import PostingList
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.network import AlvisNetwork
+
+__all__ = ["QueryTrace", "RetrievalComponent"]
+
+
+@dataclass
+class QueryTrace:
+    """Everything measured about one query (the unit of experiment E2)."""
+
+    query: Key
+    origin: int
+    #: (key, status) in exploration order — reproduces Figure 1.
+    probes: List[Tuple[Key, ProbeStatus]] = field(default_factory=list)
+    lookup_hops: int = 0
+    request_messages: int = 0
+    bytes_sent: int = 0
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    rtt_estimate: float = 0.0
+    refined: bool = False
+    results: List[RankedDocument] = field(default_factory=list)
+
+    @property
+    def probed_count(self) -> int:
+        return sum(1 for _key, status in self.probes
+                   if status != ProbeStatus.SKIPPED)
+
+    @property
+    def skipped_count(self) -> int:
+        return sum(1 for _key, status in self.probes
+                   if status == ProbeStatus.SKIPPED)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for benchmark tables."""
+        return {
+            "terms": float(len(self.query)),
+            "probed": float(self.probed_count),
+            "skipped": float(self.skipped_count),
+            "hops": float(self.lookup_hops),
+            "messages": float(self.request_messages),
+            "bytes": float(self.bytes_sent),
+            "results": float(len(self.results)),
+        }
+
+
+class RetrievalComponent:
+    """Executes multi-keyword queries against the global index."""
+
+    def __init__(self, network: "AlvisNetwork"):
+        self.network = network
+        self.explorer = LatticeExplorer(
+            prune_on_truncated=network.config.prune_on_truncated)
+
+    # ------------------------------------------------------------------
+
+    def query(self, origin: int, query: Union[str, Sequence[str]],
+              refine: Optional[bool] = None
+              ) -> Tuple[List[RankedDocument], QueryTrace]:
+        """Run one query from peer ``origin``.
+
+        ``query`` is either a raw string (analyzed with the network's
+        analyzer) or a pre-analyzed term sequence.  ``refine`` overrides
+        the config's ``refine_with_local_engines``.
+        """
+        network = self.network
+        terms = (network.analyzer.analyze_query(query)
+                 if isinstance(query, str) else
+                 list(dict.fromkeys(query)))
+        if not terms:
+            raise ValueError(f"query {query!r} has no index terms")
+        trace = QueryTrace(query=Key(terms), origin=origin)
+        bytes_before = network.bytes_sent_total()
+        kinds_before = network.bytes_by_kind()
+        owners: Dict[Key, int] = {}
+        probe_rtts: Dict[int, List[float]] = {}
+
+        def probe(key: Key) -> Tuple[bool, Optional[PostingList]]:
+            owner, hops = network.lookup_owner(origin, key.key_id)
+            owners[key] = owner
+            trace.lookup_hops += hops
+            payload = {"key_terms": list(key.terms)}
+            reply, rtt = network.send(origin, owner, protocol.PROBE_KEY,
+                                      payload)
+            trace.request_messages += 1
+            probe_rtts.setdefault(len(key), []).append(rtt)
+            if reply is None or not reply["found"]:
+                return False, None
+            return True, reply["postings"]
+
+        outcome = self.explorer.explore(terms, probe)
+        # Latency: probes within one lattice level run concurrently in
+        # the deployed client, so a level costs its slowest probe.
+        if network.config.parallel_probes:
+            trace.rtt_estimate += sum(max(rtts)
+                                      for rtts in probe_rtts.values())
+        else:
+            trace.rtt_estimate += sum(rtt for rtts in probe_rtts.values()
+                                      for rtt in rtts)
+        trace.probes = [(record.key, record.status)
+                        for record in outcome.records]
+        if network.mode == "qdi":
+            self._send_feedback(origin, outcome, owners, trace)
+        config = network.config
+        do_refine = (config.refine_with_local_engines
+                     if refine is None else refine)
+        # Refinement re-ranks a larger first-step candidate pool with
+        # exact scores, then cuts back to result_k.
+        pool_k = (config.result_k * config.refine_pool_factor
+                  if do_refine else config.result_k)
+        results = merge_and_rank(outcome.retrieved, trace.query, pool_k)
+        # Lazy cleanup: drop references to documents whose holder is gone
+        # (crash) or that were unpublished — stale postings for them may
+        # survive in combination keys until their lists refresh.
+        results = [document for document in results
+                   if network.doc_owner(document.doc_id) is not None]
+        if do_refine and results:
+            results = self._refine(origin, terms, results, trace)
+            results = results[: config.result_k]
+            trace.refined = True
+        trace.results = results
+        trace.bytes_sent = int(network.bytes_sent_total() - bytes_before)
+        kinds_after = network.bytes_by_kind()
+        trace.bytes_by_kind = {
+            kind: int(kinds_after.get(kind, 0.0)
+                      - kinds_before.get(kind, 0.0))
+            for kind in kinds_after
+            if kinds_after.get(kind, 0.0) > kinds_before.get(kind, 0.0)}
+        return results, trace
+
+    # ------------------------------------------------------------------
+
+    def _send_feedback(self, origin: int, outcome: ExplorationOutcome,
+                       owners: Dict[Key, int], trace: QueryTrace) -> None:
+        """Report missing multi-term combinations to their owners (QDI)."""
+        for key in outcome.missing_keys():
+            if len(key) < 2:
+                continue
+            owner = owners.get(key)
+            if owner is None:
+                continue
+            redundant = outcome.covered_by_untruncated(key)
+            payload = {"key_terms": list(key.terms),
+                       "redundant": redundant}
+            _reply, rtt = self.network.send(origin, owner,
+                                            protocol.FEEDBACK, payload)
+            trace.request_messages += 1
+            trace.rtt_estimate += rtt
+
+    def _refine(self, origin: int, terms: List[str],
+                results: List[RankedDocument],
+                trace: QueryTrace) -> List[RankedDocument]:
+        """Second retrieval step: exact scoring at the document holders."""
+        by_owner: Dict[int, List[int]] = {}
+        for document in results:
+            owner = self.network.doc_owner(document.doc_id)
+            if owner is not None:
+                by_owner.setdefault(owner, []).append(document.doc_id)
+        exact_scores: Dict[int, float] = {}
+        for owner, doc_ids in by_owner.items():
+            payload = {"terms": terms, "doc_ids": doc_ids}
+            reply, rtt = self.network.send(origin, owner,
+                                           protocol.REFINE_QUERY, payload)
+            trace.request_messages += 1
+            trace.rtt_estimate += rtt
+            if reply is not None:
+                for doc_id, score in reply["scores"].items():
+                    exact_scores[int(doc_id)] = float(score)
+        refined = [RankedDocument(
+            doc_id=document.doc_id,
+            score=exact_scores.get(document.doc_id, document.score),
+            covering_keys=document.covering_keys)
+            for document in results]
+        refined.sort(key=lambda document: (-document.score,
+                                           document.doc_id))
+        return refined

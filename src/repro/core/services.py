@@ -1,0 +1,36 @@
+"""The narrow interface peers and protocol components use to reach the
+network.
+
+Keeping this a :class:`typing.Protocol` breaks the import cycle between
+:mod:`repro.core.peer` (which needs to *initiate* traffic for QDI's
+on-demand indexing) and :mod:`repro.core.network` (which owns transport
+and ring) — and lets unit tests substitute an in-memory fake.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Protocol, Tuple
+
+from repro.core.config import AlvisConfig
+
+__all__ = ["NetworkServices"]
+
+
+class NetworkServices(Protocol):
+    """What a peer may ask of the network."""
+
+    config: AlvisConfig
+
+    def lookup_owner(self, origin: int, key_id: int) -> Tuple[int, int]:
+        """Resolve the peer responsible for ``key_id``.
+
+        Returns ``(owner_peer_id, hops)``; routing traffic is accounted by
+        the implementation.
+        """
+        ...
+
+    def send(self, origin: int, dst: int, kind: str,
+             payload: Dict[str, Any]
+             ) -> Tuple[Optional[Dict[str, Any]], float]:
+        """Send one request and return ``(reply payload or None, rtt)``."""
+        ...

@@ -1,0 +1,23 @@
+"""Corpora and query workloads.
+
+The paper demonstrates on a "large corpus of documents" published across
+research institutions; its companion evaluations use public web/TREC
+collections.  Offline, we substitute a **synthetic corpus generator**
+whose term statistics (Zipfian unigram law, topical co-occurrence) match
+the properties those evaluations depend on, plus a plain-text loader for
+user-supplied collections and a **query workload generator** with Zipfian
+query popularity and topic drift (what QDI adapts to).
+"""
+
+from repro.corpus.loader import load_directory, sample_documents
+from repro.corpus.queries import QueryWorkload, QueryWorkloadConfig
+from repro.corpus.synthetic import SyntheticCorpusConfig, SyntheticCorpus
+
+__all__ = [
+    "load_directory",
+    "sample_documents",
+    "QueryWorkload",
+    "QueryWorkloadConfig",
+    "SyntheticCorpusConfig",
+    "SyntheticCorpus",
+]

@@ -1,0 +1,164 @@
+"""Query workloads with Zipfian popularity and topic drift.
+
+QDI's whole premise is that real query streams are heavily skewed (a small
+set of popular queries dominates) and drift over time.  The workload
+generator builds a pool of *answerable* multi-term queries (terms drawn
+from the same document, so conjunctive results are non-empty), then samples
+the stream from the pool with a Zipf law whose rank order can be rotated to
+model drift.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.corpus.synthetic import SyntheticCorpus
+from repro.ir.analysis import Analyzer
+from repro.util.rng import make_rng
+from repro.util.zipf import ZipfSampler
+
+__all__ = ["QueryWorkloadConfig", "QueryWorkload"]
+
+
+@dataclass
+class QueryWorkloadConfig:
+    """Knobs of the query generator."""
+
+    pool_size: int = 200           #: number of distinct queries
+    min_terms: int = 2             #: minimum query length (terms)
+    max_terms: int = 3             #: maximum query length (terms)
+    popularity_exponent: float = 0.9  #: Zipf skew of query popularity
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        if not 1 <= self.min_terms <= self.max_terms:
+            raise ValueError(
+                f"need 1 <= min_terms <= max_terms, got "
+                f"{self.min_terms}, {self.max_terms}")
+
+
+class QueryWorkload:
+    """A reusable pool of queries plus popularity-skewed stream sampling."""
+
+    def __init__(self, pool: Sequence[Tuple[str, ...]],
+                 config: QueryWorkloadConfig):
+        if not pool:
+            raise ValueError("query pool is empty")
+        self.config = config
+        self.pool: List[Tuple[str, ...]] = [tuple(query) for query in pool]
+        self._sampler = ZipfSampler(len(self.pool),
+                                    config.popularity_exponent)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_corpus(cls, corpus: SyntheticCorpus,
+                    config: Optional[QueryWorkloadConfig] = None,
+                    analyzer: Optional[Analyzer] = None) -> "QueryWorkload":
+        """Build an answerable query pool from a synthetic corpus.
+
+        Each query's terms are sampled from a single document's analyzed
+        term multiset (preferring mid-frequency terms), guaranteeing the
+        conjunction matches at least that document.
+        """
+        if config is None:
+            config = QueryWorkloadConfig()
+        if analyzer is None:
+            analyzer = Analyzer()
+        rng = make_rng(config.seed, "query-pool")
+        pool: List[Tuple[str, ...]] = []
+        seen = set()
+        attempts = 0
+        max_attempts = config.pool_size * 50
+        while len(pool) < config.pool_size and attempts < max_attempts:
+            attempts += 1
+            doc_index = rng.randrange(corpus.num_documents)
+            terms = analyzer.analyze(
+                " ".join(corpus.document_terms(doc_index)))
+            distinct = sorted(set(terms))
+            size = rng.randint(config.min_terms, config.max_terms)
+            if len(distinct) < size:
+                continue
+            query = tuple(sorted(rng.sample(distinct, size)))
+            if query in seen:
+                continue
+            seen.add(query)
+            pool.append(query)
+        if len(pool) < config.pool_size:
+            raise RuntimeError(
+                f"could only build {len(pool)} of {config.pool_size} "
+                "queries; corpus too small or too repetitive")
+        return cls(pool, config)
+
+    @classmethod
+    def from_documents(cls, documents, config: Optional[QueryWorkloadConfig]
+                       = None,
+                       analyzer: Optional[Analyzer] = None) -> "QueryWorkload":
+        """Build a pool from concrete :class:`Document` objects."""
+        if config is None:
+            config = QueryWorkloadConfig()
+        if analyzer is None:
+            analyzer = Analyzer()
+        rng = make_rng(config.seed, "query-pool-docs")
+        analyzed = [sorted(set(analyzer.analyze(document.text)))
+                    for document in documents]
+        analyzed = [terms for terms in analyzed
+                    if len(terms) >= config.min_terms]
+        if not analyzed:
+            raise ValueError("no documents with enough distinct terms")
+        pool: List[Tuple[str, ...]] = []
+        seen = set()
+        attempts = 0
+        max_attempts = config.pool_size * 50
+        while len(pool) < config.pool_size and attempts < max_attempts:
+            attempts += 1
+            terms = rng.choice(analyzed)
+            size = rng.randint(config.min_terms,
+                               min(config.max_terms, len(terms)))
+            query = tuple(sorted(rng.sample(terms, size)))
+            if query in seen:
+                continue
+            seen.add(query)
+            pool.append(query)
+        if not pool:
+            raise RuntimeError("could not build any queries")
+        return cls(pool, config)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample(self, rng: random.Random,
+               drift: int = 0) -> Tuple[str, ...]:
+        """Draw one query.
+
+        ``drift`` rotates the popularity ranking: query at popularity rank
+        r becomes rank ``(r + drift) mod pool``.  Increasing drift over a
+        stream models interest shift — the regime where QDI must index new
+        keys and evict old ones (experiment E5).
+        """
+        rank = self._sampler.sample(rng)
+        index = (rank + drift) % len(self.pool)
+        return self.pool[index]
+
+    def stream(self, rng: random.Random, count: int,
+               drift_per_query: float = 0.0) -> Iterator[Tuple[str, ...]]:
+        """Yield ``count`` queries with linearly accumulating drift."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        drift = 0.0
+        for _index in range(count):
+            yield self.sample(rng, drift=int(drift))
+            drift += drift_per_query
+
+    def most_popular(self, count: int,
+                     drift: int = 0) -> List[Tuple[str, ...]]:
+        """The ``count`` most popular queries under the given drift."""
+        return [self.pool[(rank + drift) % len(self.pool)]
+                for rank in range(min(count, len(self.pool)))]

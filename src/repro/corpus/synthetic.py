@@ -1,0 +1,192 @@
+"""Synthetic text collections with realistic term statistics.
+
+Substitution note (see DESIGN.md): the published AlvisP2P evaluations used
+web and TREC collections we cannot ship.  What the system's behaviour
+actually depends on is:
+
+* a **Zipfian unigram distribution** — this is what makes single-term
+  posting lists unscalable (a few terms appear in a large fraction of all
+  documents) and what bounds the HDK key vocabulary;
+* **topical co-occurrence** — frequent terms co-occur in stable pairs and
+  triples within topics, which is what makes multi-term keys selective and
+  queryable;
+* **document length dispersion** — BM25's length normalization needs
+  non-constant lengths to matter.
+
+The generator reproduces all three with a topic-mixture model: a global
+Zipfian background distribution plus per-topic Zipfian emphasis over a
+topic-specific vocabulary slice.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.ir.documents import Document
+from repro.util.rng import make_rng
+from repro.util.zipf import ZipfSampler
+
+__all__ = ["SyntheticCorpusConfig", "SyntheticCorpus", "word_for_rank"]
+
+_SYLLABLES = (
+    "ba be bi bo bu da de di do du fa fe fi fo fu ga ge gi go gu "
+    "ka ke ki ko ku la le li lo lu ma me mi mo mu na ne ni no nu "
+    "pa pe pi po pu ra re ri ro ru sa se si so su ta te ti to tu "
+    "va ve vi vo vu za ze zi zo zu"
+).split()
+
+
+def word_for_rank(rank: int) -> str:
+    """Deterministic pronounceable word for a vocabulary rank.
+
+    Encodes ``rank`` in base-``len(_SYLLABLES)``, guaranteeing injectivity;
+    a fixed suffix syllable avoids clashes with English stopwords and keeps
+    the Porter stemmer from merging distinct ranks.
+
+    >>> word_for_rank(0) != word_for_rank(1)
+    True
+    """
+    if rank < 0:
+        raise ValueError(f"rank must be >= 0, got {rank}")
+    base = len(_SYLLABLES)
+    digits = []
+    value = rank
+    while True:
+        digits.append(value % base)
+        value //= base
+        if value == 0:
+            break
+    return "".join(_SYLLABLES[digit] for digit in reversed(digits)) + "x"
+
+
+@dataclass
+class SyntheticCorpusConfig:
+    """Knobs of the generator.
+
+    Defaults produce a small but statistically realistic collection; the
+    benchmarks scale ``num_documents`` and ``vocabulary_size`` up.
+    """
+
+    num_documents: int = 200
+    vocabulary_size: int = 2000
+    num_topics: int = 10
+    mean_document_length: int = 120
+    length_spread: float = 0.4       #: relative spread of document lengths
+    zipf_exponent: float = 1.0       #: background unigram skew
+    topic_zipf_exponent: float = 0.8 #: within-topic skew
+    topic_mix: float = 0.6           #: share of tokens drawn from the topic
+    topic_vocabulary_size: int = 300 #: terms per topic slice
+    seed: int = 42
+
+    def __post_init__(self):
+        if self.num_documents <= 0:
+            raise ValueError("num_documents must be positive")
+        if self.vocabulary_size <= 1:
+            raise ValueError("vocabulary_size must be > 1")
+        if self.num_topics <= 0:
+            raise ValueError("num_topics must be positive")
+        if self.mean_document_length <= 0:
+            raise ValueError("mean_document_length must be positive")
+        if not 0 <= self.topic_mix <= 1:
+            raise ValueError("topic_mix must be in [0, 1]")
+        if self.topic_vocabulary_size > self.vocabulary_size:
+            raise ValueError(
+                "topic_vocabulary_size cannot exceed vocabulary_size")
+
+
+class SyntheticCorpus:
+    """Generates :class:`~repro.ir.documents.Document` objects on demand.
+
+    Documents are generated lazily and deterministically: document ``i`` is
+    identical across runs and independent of generation order.
+    """
+
+    def __init__(self, config: SyntheticCorpusConfig):
+        self.config = config
+        self._background = ZipfSampler(config.vocabulary_size,
+                                       config.zipf_exponent)
+        self._topic_sampler = ZipfSampler(config.topic_vocabulary_size,
+                                          config.topic_zipf_exponent)
+        # Each topic owns a deterministic slice of vocabulary ranks,
+        # sampled without replacement from the mid-frequency band (very
+        # frequent terms stay background; very rare terms stay rare).
+        self._topic_vocabularies: List[List[int]] = []
+        for topic in range(config.num_topics):
+            rng = make_rng(config.seed, "topic-vocab", topic)
+            low = config.vocabulary_size // 50
+            high = config.vocabulary_size - 1
+            ranks = rng.sample(range(low, high),
+                               config.topic_vocabulary_size)
+            self._topic_vocabularies.append(ranks)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_documents(self) -> int:
+        return self.config.num_documents
+
+    def vocabulary(self) -> List[str]:
+        """The full vocabulary as words."""
+        return [word_for_rank(rank)
+                for rank in range(self.config.vocabulary_size)]
+
+    def topic_of(self, doc_index: int) -> int:
+        """The topic assigned to document ``doc_index``."""
+        rng = make_rng(self.config.seed, "doc-topic", doc_index)
+        return rng.randrange(self.config.num_topics)
+
+    def document_terms(self, doc_index: int) -> List[str]:
+        """The raw token sequence of document ``doc_index``."""
+        if not 0 <= doc_index < self.config.num_documents:
+            raise IndexError(f"doc_index {doc_index} out of range")
+        config = self.config
+        rng = make_rng(config.seed, "doc", doc_index)
+        topic = self.topic_of(doc_index)
+        topic_ranks = self._topic_vocabularies[topic]
+        spread = max(1, int(config.mean_document_length
+                            * config.length_spread))
+        length = max(5, config.mean_document_length
+                     + rng.randint(-spread, spread))
+        tokens = []
+        for _position in range(length):
+            if rng.random() < config.topic_mix:
+                rank = topic_ranks[self._topic_sampler.sample(rng)]
+            else:
+                rank = self._background.sample(rng)
+            tokens.append(word_for_rank(rank))
+        return tokens
+
+    def document(self, doc_index: int, doc_id: int = None,
+                 owner_peer: int = -1) -> Document:
+        """Materialize document ``doc_index`` as a :class:`Document`."""
+        tokens = self.document_terms(doc_index)
+        text = " ".join(tokens)
+        title = " ".join(tokens[:5])
+        if doc_id is None:
+            doc_id = doc_index
+        return Document(doc_id=doc_id, title=title, text=text,
+                        url=f"synthetic://doc/{doc_index}",
+                        owner_peer=owner_peer)
+
+    def documents(self) -> List[Document]:
+        """Materialize the whole collection (doc_id == doc_index)."""
+        return [self.document(index)
+                for index in range(self.config.num_documents)]
+
+    # ------------------------------------------------------------------
+
+    def frequent_term_ranks(self, count: int) -> List[int]:
+        """The ``count`` most frequent background ranks (for tests)."""
+        return list(range(min(count, self.config.vocabulary_size)))
+
+    def topic_terms(self, topic: int, count: int) -> List[str]:
+        """The ``count`` most emphasized words of a topic.
+
+        These are the words most likely to form discriminative
+        combinations, so the workload generator biases queries toward
+        them.
+        """
+        ranks = self._topic_vocabularies[topic][:count]
+        return [word_for_rank(rank) for rank in ranks]

@@ -1,0 +1,97 @@
+"""Churn: peers joining and leaving, with index handover.
+
+When a peer joins, it takes over the key range between its predecessor and
+itself from the previous owner; when it leaves gracefully, its range is
+absorbed by its successor.  The global-index layer registers a handover
+callback to physically move (and byte-account) the affected posting lists.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.dht.idspace import random_id
+from repro.dht.ring import DHTRing
+
+__all__ = ["ChurnEvent", "ChurnProcess"]
+
+#: Callback invoked as handover(from_peer, to_peer, range_lo, range_hi):
+#: move every key with id in the clockwise interval (range_lo, range_hi].
+HandoverFn = Callable[[int, int, int, int], None]
+
+
+@dataclass
+class ChurnEvent:
+    """One membership change, recorded for experiment reports."""
+
+    kind: str        #: "join" or "leave"
+    node_id: int
+    ring_size_after: int
+
+
+class ChurnProcess:
+    """Applies joins/leaves to a ring and drives index handover."""
+
+    def __init__(self, ring: DHTRing, rng: random.Random,
+                 on_handover: Optional[HandoverFn] = None):
+        self.ring = ring
+        self.rng = rng
+        self.on_handover = on_handover
+        self.history: List[ChurnEvent] = []
+
+    def join(self, node_id: Optional[int] = None) -> int:
+        """Add a node (random id by default) and hand over its key range.
+
+        Returns the id of the new node.
+        """
+        if node_id is None:
+            node_id = random_id(self.rng)
+            while self.ring.contains(node_id):
+                node_id = random_id(self.rng)
+        elif self.ring.contains(node_id):
+            raise ValueError(f"node {node_id} already in ring")
+        # Before insertion, the keys in (pred(new), new] belong to the
+        # current successor of the new id; they must move to the newcomer.
+        old_owner = self.ring.successor_of(node_id) if self.ring.size else None
+        self.ring.add_node(node_id)
+        self.ring.rebuild_tables()
+        if old_owner is not None and old_owner != node_id:
+            predecessor = self.ring.predecessor_of(node_id)
+            if self.on_handover is not None:
+                self.on_handover(old_owner, node_id, predecessor, node_id)
+        self.history.append(
+            ChurnEvent("join", node_id, self.ring.size))
+        return node_id
+
+    def leave(self, node_id: Optional[int] = None) -> int:
+        """Remove a node gracefully, handing its range to its successor.
+
+        Returns the id of the departed node.
+        """
+        if self.ring.size <= 1:
+            raise ValueError("cannot remove the last node")
+        if node_id is None:
+            node_id = self.rng.choice(list(self.ring.member_ids))
+        elif not self.ring.contains(node_id):
+            raise KeyError(f"node {node_id} not in ring")
+        predecessor = self.ring.predecessor_of(node_id)
+        self.ring.remove_node(node_id)
+        self.ring.rebuild_tables()
+        new_owner = self.ring.successor_of(node_id)
+        if self.on_handover is not None:
+            self.on_handover(node_id, new_owner, predecessor, node_id)
+        self.history.append(
+            ChurnEvent("leave", node_id, self.ring.size))
+        return node_id
+
+    def run_session(self, joins: int, leaves: int) -> None:
+        """Apply a randomly interleaved batch of joins and leaves."""
+        operations = ["join"] * joins + ["leave"] * leaves
+        self.rng.shuffle(operations)
+        for operation in operations:
+            if operation == "join":
+                self.join()
+            else:
+                self.leave()

@@ -1,0 +1,38 @@
+"""Hashing keys into the identifier space.
+
+AlvisP2P's global index is key-based: a *key* is an unordered combination of
+indexing terms.  The DHT maps each key to the peer responsible for it.  Term
+order inside a key must not matter (the key {a,b} equals {b,a}), so terms are
+sorted before hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.dht.idspace import ID_BITS
+
+__all__ = ["hash_string", "hash_terms"]
+
+
+def hash_string(value: str) -> int:
+    """Hash an arbitrary string to a 64-bit identifier.
+
+    Uses SHA-1 (as deployed DHTs of the era did) truncated to the id width;
+    the choice of digest only matters for uniformity, not security.
+    """
+    digest = hashlib.sha1(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[: ID_BITS // 8], "big")
+
+
+def hash_terms(terms: Iterable[str]) -> int:
+    """Hash a term combination to its key identifier, order-independently.
+
+    >>> hash_terms(["b", "a"]) == hash_terms(["a", "b"])
+    True
+    >>> hash_terms(["a"]) != hash_terms(["a", "b"])
+    True
+    """
+    canonical = "\x1f".join(sorted(terms))
+    return hash_string(canonical)

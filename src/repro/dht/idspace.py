@@ -1,0 +1,63 @@
+"""The circular identifier space.
+
+Identifiers are 64-bit unsigned integers on a ring.  A key is owned by its
+*successor*: the first peer clockwise from (or at) the key's identifier.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["ID_BITS", "ID_SPACE", "clockwise_distance", "in_interval",
+           "random_id"]
+
+#: Width of identifiers in bits.
+ID_BITS = 64
+
+#: Size of the identifier space (ids are in ``[0, ID_SPACE)``).
+ID_SPACE = 1 << ID_BITS
+
+
+def clockwise_distance(from_id: int, to_id: int) -> int:
+    """Distance travelled clockwise from ``from_id`` to ``to_id``.
+
+    >>> clockwise_distance(10, 15)
+    5
+    >>> clockwise_distance(15, 10) == ID_SPACE - 5
+    True
+    >>> clockwise_distance(7, 7)
+    0
+    """
+    return (to_id - from_id) % ID_SPACE
+
+
+def in_interval(value: int, left: int, right: int,
+                inclusive_right: bool = True) -> bool:
+    """True if ``value`` lies in the clockwise interval ``(left, right]``.
+
+    The interval wraps around zero when ``right`` precedes ``left``.  With
+    ``inclusive_right=False`` the interval is open on both ends.
+
+    >>> in_interval(5, 3, 8)
+    True
+    >>> in_interval(1, 250, 10)   # wrapped interval
+    True
+    >>> in_interval(3, 3, 8)      # left end is exclusive
+    False
+    """
+    if left == right:
+        # The interval spans the whole ring (excluding the endpoint itself
+        # unless the right end is inclusive and value == right).
+        if value == left:
+            return inclusive_right
+        return True
+    distance_value = clockwise_distance(left, value)
+    distance_right = clockwise_distance(left, right)
+    if inclusive_right:
+        return 0 < distance_value <= distance_right
+    return 0 < distance_value < distance_right
+
+
+def random_id(rng: random.Random) -> int:
+    """Draw a uniformly random identifier."""
+    return rng.getrandbits(ID_BITS)

@@ -1,0 +1,191 @@
+"""The DHT ring: membership, table construction, iterative lookup.
+
+The ring is the authoritative membership view (in a deployment this role is
+played by the converged maintenance protocol).  Lookups, however, are
+executed hop by hop through each node's own routing table, so the measured
+hop counts and routing traffic are those of the distributed algorithm, not
+of the oracle.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dht.idspace import ID_BITS
+from repro.dht.node import DHTNode
+from repro.dht.routing import FingerTableStrategy, HopSpaceFingers
+from repro.net.message import Message
+from repro.net.transport import Transport
+
+__all__ = ["LookupResult", "DHTRing"]
+
+#: Handover callback signature: (old_owner, new_owner, key_range_lo, key_range_hi).
+HandoverCallback = Callable[[int, int, int, int], None]
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one iterative lookup."""
+
+    key_id: int
+    owner: int
+    hops: int
+    path: List[int] = field(default_factory=list)
+
+
+class DHTRing:
+    """A set of :class:`DHTNode` objects plus routing orchestration."""
+
+    def __init__(self, strategy: Optional[FingerTableStrategy] = None,
+                 transport: Optional[Transport] = None):
+        self.strategy = strategy if strategy is not None else HopSpaceFingers()
+        self.transport = transport
+        self._nodes: Dict[int, DHTNode] = {}
+        self._sorted_ids: List[int] = []
+        self._tables_dirty = True
+        #: Incremented on every membership change; lets caches of
+        #: key->owner resolutions detect staleness cheaply.
+        self.membership_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of live nodes."""
+        return len(self._sorted_ids)
+
+    @property
+    def member_ids(self) -> Tuple[int, ...]:
+        """Sorted tuple of live node ids."""
+        return tuple(self._sorted_ids)
+
+    def node(self, node_id: int) -> DHTNode:
+        """Return the node object for ``node_id`` (KeyError if absent)."""
+        return self._nodes[node_id]
+
+    def contains(self, node_id: int) -> bool:
+        """True if ``node_id`` is a live member."""
+        return node_id in self._nodes
+
+    def add_node(self, node_id: int) -> DHTNode:
+        """Add a node to the membership; tables become stale until rebuilt."""
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id} already present")
+        node = DHTNode(node_id)
+        self._nodes[node_id] = node
+        bisect.insort(self._sorted_ids, node_id)
+        self._tables_dirty = True
+        self.membership_epoch += 1
+        return node
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node; tables become stale until rebuilt."""
+        if node_id not in self._nodes:
+            raise KeyError(f"node {node_id} not present")
+        del self._nodes[node_id]
+        index = bisect.bisect_left(self._sorted_ids, node_id)
+        self._sorted_ids.pop(index)
+        self._tables_dirty = True
+        self.membership_epoch += 1
+
+    # ------------------------------------------------------------------
+    # Ownership oracle (what the converged ring agrees on)
+    # ------------------------------------------------------------------
+
+    def successor_of(self, key_id: int) -> int:
+        """The live node owning ``key_id`` (its clockwise successor)."""
+        if not self._sorted_ids:
+            raise ValueError("ring is empty")
+        index = bisect.bisect_left(self._sorted_ids, key_id)
+        if index == len(self._sorted_ids):
+            index = 0
+        return self._sorted_ids[index]
+
+    def predecessor_of(self, node_id: int) -> int:
+        """The live node immediately counter-clockwise of ``node_id``."""
+        if not self._sorted_ids:
+            raise ValueError("ring is empty")
+        index = bisect.bisect_left(self._sorted_ids, node_id)
+        if index >= len(self._sorted_ids) or self._sorted_ids[index] != node_id:
+            raise KeyError(f"node {node_id} not present")
+        return self._sorted_ids[index - 1]  # wraps via Python indexing
+
+    # ------------------------------------------------------------------
+    # Routing tables
+    # ------------------------------------------------------------------
+
+    def rebuild_tables(self) -> None:
+        """(Re)build every node's fingers and successor list.
+
+        Models the converged state of the maintenance protocol; called
+        after batches of joins/leaves.
+        """
+        members = self._sorted_ids
+        n = len(members)
+        for rank, node_id in enumerate(members):
+            node = self._nodes[node_id]
+            node.set_fingers(self.strategy.build(node_id, members))
+            successors = [members[(rank + offset) % n]
+                          for offset in range(1, DHTNode.SUCCESSOR_LIST_SIZE + 1)
+                          if n > 1]
+            node.set_successors(successors)
+        self._tables_dirty = False
+
+    def ensure_tables(self) -> None:
+        """Rebuild tables if membership changed since the last build."""
+        if self._tables_dirty:
+            self.rebuild_tables()
+
+    def mean_routing_table_size(self) -> float:
+        """Average out-degree across nodes (E7 reports this is O(log n))."""
+        if not self._nodes:
+            raise ValueError("ring is empty")
+        total = sum(node.routing_table_size()
+                    for node in self._nodes.values())
+        return total / len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Iterative lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, source_id: int, key_id: int,
+               account: bool = False) -> LookupResult:
+        """Route from ``source_id`` to the owner of ``key_id``.
+
+        Follows each node's greedy next-hop choice; the membership oracle is
+        used only for the local ownership test (a node knowing its
+        predecessor).  With ``account=True`` and a transport attached, each
+        hop sends a small ``LookupHop`` message so routing traffic shows up
+        in the byte accounting.
+        """
+        self.ensure_tables()
+        if source_id not in self._nodes:
+            raise KeyError(f"source node {source_id} not present")
+        current = source_id
+        path = [current]
+        hops = 0
+        max_hops = 2 * ID_BITS + self.size
+        while True:
+            node = self._nodes[current]
+            if node.owns(key_id, self.predecessor_of(current)):
+                return LookupResult(key_id=key_id, owner=current,
+                                    hops=hops, path=path)
+            next_id = node.next_hop(key_id)
+            if next_id is None:
+                next_id = node.successor
+            if account and self.transport is not None:
+                message = Message(src=current, dst=next_id,
+                                  kind="LookupHop",
+                                  payload={"key_id": key_id})
+                self.transport.request(message)
+            current = next_id
+            path.append(current)
+            hops += 1
+            if hops > max_hops:
+                raise RuntimeError(
+                    f"lookup for {key_id} exceeded {max_hops} hops; "
+                    "routing tables are inconsistent")

@@ -1,0 +1,152 @@
+"""Routing-table construction strategies.
+
+The AlvisP2P paper (Section 3) states that its DHT "uses the concept of
+'hop space' for routing table construction" so that it "supports arbitrary
+skews in the distribution of the peers in the identifier space" while
+keeping routing tables of size O(log n) and expected O(log n) hops
+(Klemm, Girdzijauskas, Le Boudec, Aberer — *On Routing in Distributed Hash
+Tables*, P2P 2007).
+
+Two strategies are implemented so experiment E7 can contrast them:
+
+* :class:`NaiveFingers` — classic Chord fingers at id-space offsets
+  ``2^i``.  Under uniform peer placement this yields ~log2(n) hops, but
+  when peers are crowded into a small arc of the ring, greedy routing must
+  resolve exponentially fine id distances and the hop count degrades
+  towards the id width (up to 64) instead of log2(n).
+
+* :class:`HopSpaceFingers` — fingers at exponential *rank* offsets: the
+  i-th finger of the peer at rank r points at the peer at rank
+  ``r + 2^i (mod n)``.  Greedy routing then halves the remaining *peer
+  count* each hop, giving ceil(log2 n) hops for any placement.
+
+In the deployed system tables are maintained by a gossip protocol; here we
+build them from a membership snapshot, which models the converged state the
+published evaluation measures.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Sequence
+
+from repro.dht.idspace import ID_BITS, ID_SPACE, random_id
+
+__all__ = ["FingerTableStrategy", "NaiveFingers", "HopSpaceFingers",
+           "uniform_ids", "skewed_ids"]
+
+
+class FingerTableStrategy(abc.ABC):
+    """Builds the out-neighbour list of one node from a membership snapshot."""
+
+    @abc.abstractmethod
+    def build(self, node_id: int, members: Sequence[int]) -> List[int]:
+        """Return the finger ids for ``node_id``.
+
+        ``members`` is the sorted list of all live node ids (including
+        ``node_id`` itself).  The returned list excludes ``node_id`` and
+        contains no duplicates; it always includes the immediate successor
+        so greedy routing can terminate.
+        """
+
+    @staticmethod
+    def _successor_index(target: int, members: Sequence[int]) -> int:
+        """Index of the first member clockwise from (or at) ``target``."""
+        # Binary search over the sorted membership list, wrapping at the end.
+        low, high = 0, len(members)
+        while low < high:
+            mid = (low + high) // 2
+            if members[mid] < target:
+                low = mid + 1
+            else:
+                high = mid
+        return low % len(members)
+
+    @staticmethod
+    def _dedupe_keep_order(ids: Sequence[int], self_id: int) -> List[int]:
+        seen = set()
+        result = []
+        for finger in ids:
+            if finger != self_id and finger not in seen:
+                seen.add(finger)
+                result.append(finger)
+        return result
+
+
+class NaiveFingers(FingerTableStrategy):
+    """Chord-style fingers at id offsets ``2^i`` for i in [0, ID_BITS)."""
+
+    def build(self, node_id: int, members: Sequence[int]) -> List[int]:
+        if not members:
+            raise ValueError("membership snapshot is empty")
+        fingers = []
+        for i in range(ID_BITS):
+            target = (node_id + (1 << i)) % ID_SPACE
+            index = self._successor_index(target, members)
+            fingers.append(members[index])
+        return self._dedupe_keep_order(fingers, node_id)
+
+
+class HopSpaceFingers(FingerTableStrategy):
+    """Fingers at exponential rank (peer-count) offsets.
+
+    The real protocol estimates ranks from sampled routing traffic; building
+    from the snapshot gives the converged table the P2P'07 paper analyzes.
+    """
+
+    def build(self, node_id: int, members: Sequence[int]) -> List[int]:
+        if not members:
+            raise ValueError("membership snapshot is empty")
+        n = len(members)
+        my_rank = self._successor_index(node_id, members)
+        if members[my_rank] != node_id:
+            raise ValueError(f"node {node_id} not in membership snapshot")
+        fingers = []
+        offset = 1
+        while offset < n:
+            fingers.append(members[(my_rank + offset) % n])
+            offset <<= 1
+        if not fingers and n > 1:
+            fingers.append(members[(my_rank + 1) % n])
+        return self._dedupe_keep_order(fingers, node_id)
+
+
+def uniform_ids(rng: random.Random, count: int) -> List[int]:
+    """Draw ``count`` distinct uniformly random identifiers."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    ids: set = set()
+    while len(ids) < count:
+        ids.add(random_id(rng))
+    return sorted(ids)
+
+
+def skewed_ids(rng: random.Random, count: int,
+               cluster_fraction: float = 0.9,
+               cluster_width: float = 0.001) -> List[int]:
+    """Draw identifiers with a heavy cluster, modelling arbitrary skew.
+
+    A ``cluster_fraction`` share of peers is packed into an arc covering
+    ``cluster_width`` of the ring; the rest is uniform.  This is the regime
+    where naive id-space fingers degrade but hop-space fingers do not
+    (experiment E7).  Skew like this arises in practice when peer ids are
+    derived from semantic keys or IP prefixes rather than uniform hashes.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if not 0 <= cluster_fraction <= 1:
+        raise ValueError(
+            f"cluster_fraction must be in [0, 1], got {cluster_fraction}")
+    if not 0 < cluster_width <= 1:
+        raise ValueError(
+            f"cluster_width must be in (0, 1], got {cluster_width}")
+    cluster_start = random_id(rng)
+    width = max(1, int(ID_SPACE * cluster_width))
+    ids: set = set()
+    target_cluster = int(count * cluster_fraction)
+    while len(ids) < target_cluster:
+        ids.add((cluster_start + rng.randrange(width)) % ID_SPACE)
+    while len(ids) < count:
+        ids.add(random_id(rng))
+    return sorted(ids)

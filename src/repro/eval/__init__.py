@@ -1,0 +1,27 @@
+"""Evaluation toolkit: quality, bandwidth, storage and load-balance metrics,
+plus table-printing helpers for the benchmark harness."""
+
+from repro.eval.bandwidth import TrafficBreakdown, traffic_breakdown
+from repro.eval.loadbalance import load_balance_report
+from repro.eval.quality import (
+    average_overlap_at_k,
+    overlap_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.eval.reporting import format_table, print_table
+from repro.eval.storage import StorageReport, storage_report
+
+__all__ = [
+    "TrafficBreakdown",
+    "traffic_breakdown",
+    "load_balance_report",
+    "average_overlap_at_k",
+    "overlap_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "format_table",
+    "print_table",
+    "StorageReport",
+    "storage_report",
+]

@@ -1,0 +1,21 @@
+"""Load-balance metrics (experiment E6)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.util.stats import gini_coefficient, max_over_mean, summarize
+
+__all__ = ["load_balance_report"]
+
+
+def load_balance_report(values: Sequence[float]) -> Dict[str, float]:
+    """Summary + inequality measures for a per-peer load distribution.
+
+    ``gini`` is 0 for a perfectly even distribution; ``max_over_mean``
+    is the hot-spot factor (1.0 = perfectly balanced).
+    """
+    report = summarize(values)
+    report["gini"] = gini_coefficient(values)
+    report["max_over_mean"] = max_over_mean(values)
+    return report

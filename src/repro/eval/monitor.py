@@ -1,0 +1,168 @@
+"""Network monitoring — the demonstration's second machine.
+
+Section 5: "A second demonstration machine will be setup to illustrate
+the indexing/retrieval mechanisms implemented in our software.  It will
+also report the current state of the network, as well as some critical
+statistics about bandwidth consumption, storage, etc."
+
+:class:`NetworkMonitor` is that machine: it aggregates the live state of
+an :class:`~repro.core.network.AlvisNetwork` into a structured snapshot
+(membership, index composition, traffic breakdown, load distribution,
+QDI activity) and renders it as the text dashboard the demo displayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.eval.bandwidth import TrafficBreakdown, traffic_breakdown
+from repro.eval.reporting import format_table
+from repro.util.stats import gini_coefficient, summarize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network import AlvisNetwork
+
+__all__ = ["NetworkSnapshot", "NetworkMonitor"]
+
+
+@dataclass
+class NetworkSnapshot:
+    """One observation of the network's state."""
+
+    num_peers: int
+    num_documents: int
+    index_mode: Optional[str]
+    total_keys: int
+    keys_by_size: Dict[int, int]
+    total_postings: int
+    storage_bytes_total: int
+    storage_gini: float
+    bytes_total: float
+    messages_total: float
+    traffic: TrafficBreakdown
+    per_peer_messages_in: Dict[int, int]
+    qdi_activations: int = 0
+    qdi_evictions: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat numeric view (for time series / plotting)."""
+        flat = {
+            "peers": float(self.num_peers),
+            "documents": float(self.num_documents),
+            "keys": float(self.total_keys),
+            "postings": float(self.total_postings),
+            "storage_bytes": float(self.storage_bytes_total),
+            "storage_gini": self.storage_gini,
+            "bytes_total": self.bytes_total,
+            "messages_total": self.messages_total,
+            "qdi_activations": float(self.qdi_activations),
+            "qdi_evictions": float(self.qdi_evictions),
+        }
+        flat.update({f"traffic_{name}": value
+                     for name, value in self.traffic.as_dict().items()})
+        return flat
+
+
+class NetworkMonitor:
+    """Aggregates and renders network state; keeps a snapshot history."""
+
+    def __init__(self, network: "AlvisNetwork"):
+        self.network = network
+        self.history: List[NetworkSnapshot] = []
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> NetworkSnapshot:
+        """Observe the network now; the snapshot is appended to history."""
+        network = self.network
+        keys_by_size: Dict[int, int] = {}
+        total_keys = 0
+        total_postings = 0
+        for peer in network.peers():
+            for entry in peer.fragment:
+                if not entry.postings and not entry.contributors:
+                    continue
+                total_keys += 1
+                total_postings += len(entry.postings)
+                size = len(entry.key)
+                keys_by_size[size] = keys_by_size.get(size, 0) + 1
+        per_peer_storage = list(
+            network.per_peer_index_storage().values())
+        qdi_activations = sum(
+            peer.qdi.stats.activations for peer in network.peers()
+            if peer.qdi is not None)
+        qdi_evictions = sum(
+            peer.qdi.stats.evictions for peer in network.peers()
+            if peer.qdi is not None)
+        observed = NetworkSnapshot(
+            num_peers=network.num_peers,
+            num_documents=network.total_documents(),
+            index_mode=network.mode,
+            total_keys=total_keys,
+            keys_by_size=keys_by_size,
+            total_postings=total_postings,
+            storage_bytes_total=sum(per_peer_storage),
+            storage_gini=gini_coefficient(per_peer_storage)
+            if per_peer_storage else 0.0,
+            bytes_total=network.bytes_sent_total(),
+            messages_total=network.messages_sent_total(),
+            traffic=traffic_breakdown(network.bytes_by_kind()),
+            per_peer_messages_in=network.per_peer_messages_in(),
+            qdi_activations=qdi_activations,
+            qdi_evictions=qdi_evictions,
+        )
+        self.history.append(observed)
+        return observed
+
+    # ------------------------------------------------------------------
+
+    def render(self, snapshot: Optional[NetworkSnapshot] = None) -> str:
+        """The text dashboard of the demo's monitoring station."""
+        if snapshot is None:
+            snapshot = self.snapshot()
+        lines = ["AlvisP2P network monitor", "=" * 40]
+        lines.append(
+            f"peers: {snapshot.num_peers}   documents: "
+            f"{snapshot.num_documents}   index: "
+            f"{snapshot.index_mode or 'not built'}")
+        key_sizes = ", ".join(
+            f"{size}-term: {count}"
+            for size, count in sorted(snapshot.keys_by_size.items()))
+        lines.append(f"global index: {snapshot.total_keys} keys "
+                     f"({key_sizes or 'empty'}), "
+                     f"{snapshot.total_postings} postings, "
+                     f"{snapshot.storage_bytes_total:,} bytes "
+                     f"(gini {snapshot.storage_gini:.2f})")
+        traffic = snapshot.traffic
+        lines.append(
+            f"traffic: {snapshot.bytes_total:,.0f} bytes in "
+            f"{snapshot.messages_total:,.0f} messages")
+        lines.append(format_table(
+            ["category", "bytes", "share"],
+            [[name, value,
+              value / traffic.total if traffic.total else 0.0]
+             for name, value in (("routing", traffic.routing),
+                                 ("indexing", traffic.indexing),
+                                 ("retrieval", traffic.retrieval),
+                                 ("other", traffic.other))]))
+        if snapshot.per_peer_messages_in:
+            load = summarize([float(v) for v in
+                              snapshot.per_peer_messages_in.values()])
+            lines.append(
+                f"per-peer inbound messages: mean {load['mean']:.1f}, "
+                f"p99 {load['p99']:.1f}, max {load['max']:.0f}")
+        if snapshot.index_mode == "qdi":
+            lines.append(
+                f"QDI: {snapshot.qdi_activations} activations, "
+                f"{snapshot.qdi_evictions} evictions")
+        return "\n".join(lines)
+
+    def delta(self) -> Dict[str, float]:
+        """Numeric change between the last two snapshots."""
+        if len(self.history) < 2:
+            raise ValueError("need at least two snapshots")
+        before = self.history[-2].as_dict()
+        after = self.history[-1].as_dict()
+        return {name: after[name] - before.get(name, 0.0)
+                for name in after}

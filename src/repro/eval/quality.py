@@ -1,0 +1,76 @@
+"""Retrieval-quality metrics relative to a reference ranking.
+
+The paper's quality claim is comparative: distributed, truncated retrieval
+should match "state-of-the-art centralized search engines".  The standard
+measures for that comparison (used by the HDK and QDI companion papers)
+are overlap@k and precision/recall against the centralized top-k, treating
+the centralized result as ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["overlap_at_k", "precision_at_k", "recall_at_k",
+           "average_overlap_at_k"]
+
+
+def overlap_at_k(candidate: Sequence[int], reference: Sequence[int],
+                 k: int) -> float:
+    """|top-k(candidate) ∩ top-k(reference)| / k.
+
+    The symmetric set-overlap measure used by the QDI paper.  When the
+    reference has fewer than ``k`` items, the denominator shrinks with it
+    (overlap of two identical short lists is 1.0).
+
+    >>> overlap_at_k([1, 3], [1, 2], 2)
+    0.5
+    >>> overlap_at_k([1, 2], [1, 2], 10)
+    1.0
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    reference_top = list(dict.fromkeys(reference))[:k]
+    if not reference_top:
+        return 1.0 if not list(candidate)[:k] else 0.0
+    candidate_top = set(list(dict.fromkeys(candidate))[:k])
+    denominator = min(k, len(reference_top))
+    hits = sum(1 for doc_id in reference_top if doc_id in candidate_top)
+    return hits / denominator
+
+
+def precision_at_k(candidate: Sequence[int], relevant: Iterable[int],
+                   k: int) -> float:
+    """Fraction of the candidate top-k that is relevant."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    relevant_set = set(relevant)
+    candidate_top = list(dict.fromkeys(candidate))[:k]
+    if not candidate_top:
+        return 0.0
+    hits = sum(1 for doc_id in candidate_top if doc_id in relevant_set)
+    return hits / len(candidate_top)
+
+
+def recall_at_k(candidate: Sequence[int], relevant: Iterable[int],
+                k: int) -> float:
+    """Fraction of the relevant set found in the candidate top-k."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 1.0
+    candidate_top = set(list(dict.fromkeys(candidate))[:k])
+    hits = len(relevant_set & candidate_top)
+    return hits / len(relevant_set)
+
+
+def average_overlap_at_k(
+        pairs: Iterable[Tuple[Sequence[int], Sequence[int]]],
+        k: int) -> float:
+    """Mean overlap@k over (candidate, reference) pairs."""
+    values: List[float] = [overlap_at_k(candidate, reference, k)
+                           for candidate, reference in pairs]
+    if not values:
+        raise ValueError("no pairs given")
+    return sum(values) / len(values)

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Benchmarks print the same rows/series the paper's evaluation surface
+defines (see EXPERIMENTS.md); this module keeps the formatting in one
+place and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    rendered: List[List[str]] = [[_format_cell(cell) for cell in row]
+                                 for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+    lines = [render_row(headers),
+             render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence]) -> None:
+    """Print a titled table (the benchmarks' reporting primitive)."""
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))

@@ -1,0 +1,56 @@
+"""Index-storage accounting (experiment E3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, TYPE_CHECKING
+
+from repro.util.stats import gini_coefficient, summarize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network import AlvisNetwork
+
+__all__ = ["StorageReport", "storage_report"]
+
+
+@dataclass
+class StorageReport:
+    """Global-index storage figures for one network."""
+
+    total_keys: int
+    total_postings: int
+    total_bytes: int
+    per_peer_bytes: Dict[int, int]
+    keys_by_size: Dict[int, int]
+
+    def summary(self) -> Dict[str, float]:
+        stats = summarize(list(self.per_peer_bytes.values()))
+        stats["gini"] = gini_coefficient(
+            list(self.per_peer_bytes.values()))
+        stats["total_keys"] = float(self.total_keys)
+        stats["total_postings"] = float(self.total_postings)
+        stats["total_bytes"] = float(self.total_bytes)
+        return stats
+
+
+def storage_report(network: "AlvisNetwork") -> StorageReport:
+    """Collect storage figures from every peer's index fragment."""
+    per_peer = network.per_peer_index_storage()
+    keys_by_size: Dict[int, int] = {}
+    total_keys = 0
+    total_postings = 0
+    for peer in network.peers():
+        for entry in peer.fragment:
+            if not entry.postings and not entry.contributors:
+                continue  # QDI shadow entries hold no index data
+            total_keys += 1
+            total_postings += len(entry.postings)
+            size = len(entry.key)
+            keys_by_size[size] = keys_by_size.get(size, 0) + 1
+    return StorageReport(
+        total_keys=total_keys,
+        total_postings=total_postings,
+        total_bytes=sum(per_peer.values()),
+        per_peer_bytes=per_peer,
+        keys_by_size=keys_by_size,
+    )

@@ -1,0 +1,45 @@
+"""Local information-retrieval engine (the paper's Layer 5 substrate).
+
+AlvisP2P attaches a "possibly sophisticated local search engine" to every
+peer — the prototype used Terrier.  This package is a from-scratch
+replacement offering what the P2P layers need:
+
+* a text analysis pipeline (tokenizer, stopword filter, Porter stemmer),
+* a positional in-memory inverted index over a local document store,
+* BM25 and TF-IDF scoring (BM25 is the function the paper uses at L4),
+* snippet extraction for result presentation, and
+* the **Alvis document digest** XML format for integrating external
+  engines (Section 4, "Heterogeneity support").
+"""
+
+from repro.ir.analysis import Analyzer
+from repro.ir.digest import DocumentDigest, parse_digest, render_digest
+from repro.ir.documents import Document, DocumentStore
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.postings import Posting, PostingList
+from repro.ir.scoring import BM25Parameters, CollectionStatistics, bm25_score, tf_idf_score
+from repro.ir.search import LocalSearchEngine, SearchResult
+from repro.ir.stemmer import PorterStemmer
+from repro.ir.stopwords import DEFAULT_STOPWORDS
+from repro.ir.tokenizer import tokenize
+
+__all__ = [
+    "Analyzer",
+    "DocumentDigest",
+    "parse_digest",
+    "render_digest",
+    "Document",
+    "DocumentStore",
+    "InvertedIndex",
+    "Posting",
+    "PostingList",
+    "BM25Parameters",
+    "CollectionStatistics",
+    "bm25_score",
+    "tf_idf_score",
+    "LocalSearchEngine",
+    "SearchResult",
+    "PorterStemmer",
+    "DEFAULT_STOPWORDS",
+    "tokenize",
+]

@@ -1,0 +1,86 @@
+"""The analysis pipeline: tokenize -> stopword filter -> stem.
+
+Both the local engines and the distributed index must analyze text the same
+way (a key is a combination of *index terms*, so "Retrieval" in a document
+and "retrieving" in a query must map to the same term).  The
+:class:`Analyzer` is therefore shared by document indexing (L5), key
+generation (L3) and query processing (L3).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence
+
+from repro.ir.stemmer import PorterStemmer
+from repro.ir.stopwords import DEFAULT_STOPWORDS
+from repro.ir.tokenizer import tokenize
+
+__all__ = ["Analyzer"]
+
+
+class Analyzer:
+    """Configurable text-to-terms pipeline.
+
+    Parameters
+    ----------
+    stopwords:
+        Terms removed after tokenization (compared pre-stemming, as is
+        conventional).  Pass an empty set to keep everything.
+    stem:
+        Whether to apply the Porter stemmer.
+    min_term_length:
+        Tokens shorter than this are dropped (default 2 — single letters
+        carry almost no retrieval signal but inflate the key vocabulary).
+    """
+
+    def __init__(self, stopwords: Optional[FrozenSet[str]] = None,
+                 stem: bool = True, min_term_length: int = 2):
+        if min_term_length < 1:
+            raise ValueError(
+                f"min_term_length must be >= 1, got {min_term_length}")
+        self.stopwords = (DEFAULT_STOPWORDS if stopwords is None
+                          else frozenset(stopwords))
+        self.min_term_length = min_term_length
+        self._stemmer = PorterStemmer() if stem else None
+        # Stemming the same vocabulary over and over dominates indexing
+        # time, so memoize stems.
+        self._stem_cache: dict = {}
+
+    def analyze(self, text: str) -> List[str]:
+        """Full pipeline: returns the term sequence for ``text``.
+
+        >>> Analyzer().analyze("The quick brown foxes are running")
+        ['quick', 'brown', 'fox', 'run']
+        """
+        terms = []
+        for token in tokenize(text):
+            if len(token) < self.min_term_length:
+                continue
+            if token in self.stopwords:
+                continue
+            terms.append(self._stem(token))
+        return terms
+
+    def analyze_query(self, text: str) -> List[str]:
+        """Analyze a query string: same pipeline, duplicates removed.
+
+        Term combinations (keys) are sets, so duplicate query terms would
+        only create degenerate lattice nodes.  Order of first occurrence is
+        preserved for readability.
+        """
+        seen = set()
+        unique: List[str] = []
+        for term in self.analyze(text):
+            if term not in seen:
+                seen.add(term)
+                unique.append(term)
+        return unique
+
+    def _stem(self, token: str) -> str:
+        if self._stemmer is None:
+            return token
+        cached = self._stem_cache.get(token)
+        if cached is None:
+            cached = self._stemmer.stem(token)
+            self._stem_cache[token] = cached
+        return cached

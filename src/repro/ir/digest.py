@@ -1,0 +1,134 @@
+"""The Alvis document digest (Section 4, "Heterogeneity support").
+
+A *document digest* is "an explicit XML-based representation of the index
+of a document collection": for each document, its URL and the list of its
+indexing terms with positions.  External engines (e.g. a digital library)
+export their proprietary index as a digest; the receiving peer regenerates
+a local index from it and publishes the collection to the P2P network.
+
+The schema used here::
+
+    <digest>
+      <document url="http://..." title="...">
+        <term value="scalabl"><pos>0</pos><pos>17</pos></term>
+        ...
+      </document>
+      ...
+    </digest>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["DocumentDigest", "render_digest", "parse_digest",
+           "digest_from_terms"]
+
+
+@dataclass
+class DocumentDigest:
+    """Digest of one document: URL, title, and term -> positions."""
+
+    url: str
+    title: str
+    term_positions: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+    def term_sequence(self) -> List[str]:
+        """Reconstruct the positional term sequence.
+
+        Gaps (positions occupied by stopwords in the original document)
+        are dropped, preserving relative order — sufficient for proximity
+        operations, which work on index-term positions anyway.
+        """
+        slots: List[Tuple[int, str]] = []
+        for term, positions in self.term_positions.items():
+            for position in positions:
+                slots.append((position, term))
+        slots.sort()
+        return [term for _position, term in slots]
+
+    def validate(self) -> None:
+        """Raise ValueError on malformed digests (negative/clashing slots)."""
+        seen: Dict[int, str] = {}
+        for term, positions in self.term_positions.items():
+            if not term:
+                raise ValueError("digest contains an empty term")
+            for position in positions:
+                if position < 0:
+                    raise ValueError(
+                        f"negative position {position} for term {term!r}")
+                previous = seen.get(position)
+                if previous is not None and previous != term:
+                    raise ValueError(
+                        f"position {position} claimed by both "
+                        f"{previous!r} and {term!r}")
+                seen[position] = term
+
+
+def digest_from_terms(url: str, title: str,
+                      terms: Sequence[str]) -> DocumentDigest:
+    """Build a digest from an analyzed term sequence."""
+    term_positions: Dict[str, List[int]] = {}
+    for position, term in enumerate(terms):
+        term_positions.setdefault(term, []).append(position)
+    return DocumentDigest(
+        url=url, title=title,
+        term_positions={term: tuple(positions)
+                        for term, positions in term_positions.items()})
+
+
+def render_digest(documents: Sequence[DocumentDigest]) -> str:
+    """Serialize digests to the Alvis XML format."""
+    root = ElementTree.Element("digest")
+    for digest in documents:
+        digest.validate()
+        doc_el = ElementTree.SubElement(root, "document",
+                                        url=digest.url, title=digest.title)
+        for term in sorted(digest.term_positions):
+            term_el = ElementTree.SubElement(doc_el, "term", value=term)
+            for position in digest.term_positions[term]:
+                pos_el = ElementTree.SubElement(term_el, "pos")
+                pos_el.text = str(position)
+    return ElementTree.tostring(root, encoding="unicode")
+
+
+def parse_digest(xml_text: str) -> List[DocumentDigest]:
+    """Parse the Alvis XML digest format.
+
+    Raises :class:`ValueError` on structural problems (wrong root tag,
+    missing attributes, non-integer positions).
+    """
+    try:
+        root = ElementTree.fromstring(xml_text)
+    except ElementTree.ParseError as error:
+        raise ValueError(f"malformed digest XML: {error}") from error
+    if root.tag != "digest":
+        raise ValueError(f"expected <digest> root, got <{root.tag}>")
+    documents = []
+    for doc_el in root.findall("document"):
+        url = doc_el.get("url")
+        if url is None:
+            raise ValueError("<document> missing url attribute")
+        title = doc_el.get("title", "")
+        term_positions: Dict[str, Tuple[int, ...]] = {}
+        for term_el in doc_el.findall("term"):
+            value = term_el.get("value")
+            if not value:
+                raise ValueError("<term> missing value attribute")
+            positions = []
+            for pos_el in term_el.findall("pos"):
+                text = (pos_el.text or "").strip()
+                try:
+                    positions.append(int(text))
+                except ValueError as error:
+                    raise ValueError(
+                        f"non-integer position {text!r} for term "
+                        f"{value!r}") from error
+            term_positions[value] = tuple(positions)
+        digest = DocumentDigest(url=url, title=title,
+                                term_positions=term_positions)
+        digest.validate()
+        documents.append(digest)
+    return documents

@@ -1,0 +1,69 @@
+"""Documents and the per-peer document store.
+
+Every document lives at exactly one peer (the paper: "local documents
+always remain at the peer that holds them"); the global index only carries
+*references* (document ids plus scores).  Global document ids are integers
+so a posting costs a constant number of bytes on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Document", "DocumentStore"]
+
+
+@dataclass
+class Document:
+    """One retrievable document.
+
+    ``doc_id`` is globally unique (assigned by the network facade as
+    ``peer_index * DOC_ID_STRIDE + local sequence``).  ``url`` follows the
+    paper's addressing scheme ``http://PeerIP:Port/SharedDir/DocumentName``.
+    """
+
+    doc_id: int
+    title: str
+    text: str
+    url: str = ""
+    owner_peer: int = -1
+    access: str = "public"  #: "public" or "protected" (see repro.core.access)
+
+    def length_terms(self, analyzer) -> int:
+        """Number of index terms in the document body (after analysis)."""
+        return len(analyzer.analyze(self.text))
+
+
+class DocumentStore:
+    """The shared-directory contents of one peer."""
+
+    def __init__(self):
+        self._documents: Dict[int, Document] = {}
+
+    def add(self, document: Document) -> None:
+        """Register a document; rejects duplicate ids."""
+        if document.doc_id in self._documents:
+            raise ValueError(f"duplicate document id {document.doc_id}")
+        self._documents[document.doc_id] = document
+
+    def remove(self, doc_id: int) -> Document:
+        """Remove and return a document (KeyError if absent)."""
+        return self._documents.pop(doc_id)
+
+    def get(self, doc_id: int) -> Optional[Document]:
+        """Return the document or ``None``."""
+        return self._documents.get(doc_id)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def ids(self) -> List[int]:
+        """All stored document ids."""
+        return list(self._documents.keys())

@@ -1,0 +1,221 @@
+"""Positional in-memory inverted index (per peer).
+
+Besides classic term -> postings lookups, the index supports the two
+operations the distributed layers are built on:
+
+* conjunctive matching (documents containing *all* terms of a key), and
+* proximity-constrained co-occurrence queries, which the HDK indexer uses
+  to enumerate expansion candidates ("terms appearing within a window of w
+  positions of an existing key occurrence").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["TermOccurrences", "InvertedIndex"]
+
+
+@dataclass
+class TermOccurrences:
+    """Occurrences of one term in one document."""
+
+    doc_id: int
+    positions: Tuple[int, ...]
+
+    @property
+    def term_frequency(self) -> int:
+        return len(self.positions)
+
+
+class InvertedIndex:
+    """Maps terms to per-document positional occurrence lists."""
+
+    def __init__(self):
+        self._postings: Dict[str, Dict[int, Tuple[int, ...]]] = {}
+        self._doc_lengths: Dict[int, int] = {}
+        # Forward index (doc -> analyzed term sequence); costs memory but
+        # makes proximity expansion O(window) instead of O(vocabulary).
+        self._forward: Dict[int, Tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_document(self, doc_id: int, terms: Sequence[str]) -> None:
+        """Index an analyzed document (term sequence with positions)."""
+        if doc_id in self._doc_lengths:
+            raise ValueError(f"document {doc_id} already indexed")
+        self._doc_lengths[doc_id] = len(terms)
+        self._forward[doc_id] = tuple(terms)
+        positions_by_term: Dict[str, List[int]] = {}
+        for position, term in enumerate(terms):
+            positions_by_term.setdefault(term, []).append(position)
+        for term, positions in positions_by_term.items():
+            self._postings.setdefault(term, {})[doc_id] = tuple(positions)
+
+    def remove_document(self, doc_id: int) -> None:
+        """Remove a document from every posting list it appears in."""
+        if doc_id not in self._doc_lengths:
+            raise KeyError(f"document {doc_id} not indexed")
+        del self._doc_lengths[doc_id]
+        del self._forward[doc_id]
+        empty_terms = []
+        for term, docs in self._postings.items():
+            docs.pop(doc_id, None)
+            if not docs:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def total_terms(self) -> int:
+        """Total number of term occurrences across all documents."""
+        return sum(self._doc_lengths.values())
+
+    @property
+    def average_document_length(self) -> float:
+        if not self._doc_lengths:
+            return 0.0
+        return self.total_terms / len(self._doc_lengths)
+
+    def document_length(self, doc_id: int) -> int:
+        """Length (in terms) of one document."""
+        return self._doc_lengths[doc_id]
+
+    def document_ids(self) -> List[int]:
+        return list(self._doc_lengths.keys())
+
+    def vocabulary(self) -> List[str]:
+        """All indexed terms."""
+        return list(self._postings.keys())
+
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of local documents containing ``term``."""
+        docs = self._postings.get(term)
+        return len(docs) if docs else 0
+
+    def term_frequency(self, term: str, doc_id: int) -> int:
+        """Occurrences of ``term`` in ``doc_id`` (0 if absent)."""
+        docs = self._postings.get(term)
+        if not docs:
+            return 0
+        positions = docs.get(doc_id)
+        return len(positions) if positions else 0
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def occurrences(self, term: str) -> List[TermOccurrences]:
+        """All occurrences of ``term``, one entry per document."""
+        docs = self._postings.get(term, {})
+        return [TermOccurrences(doc_id, positions)
+                for doc_id, positions in docs.items()]
+
+    def documents_with_term(self, term: str) -> Set[int]:
+        """Ids of documents containing ``term``."""
+        return set(self._postings.get(term, {}).keys())
+
+    def documents_with_all(self, terms: Iterable[str]) -> Set[int]:
+        """Conjunctive match: documents containing every term.
+
+        Intersects smallest-first for speed; an unknown term short-circuits
+        to the empty set.
+        """
+        term_list = list(terms)
+        if not term_list:
+            return set()
+        doc_maps = []
+        for term in term_list:
+            docs = self._postings.get(term)
+            if not docs:
+                return set()
+            doc_maps.append(docs)
+        doc_maps.sort(key=len)
+        result = set(doc_maps[0].keys())
+        for docs in doc_maps[1:]:
+            result &= docs.keys()
+            if not result:
+                break
+        return result
+
+    def key_document_frequency(self, terms: Iterable[str]) -> int:
+        """Local df of a term combination (conjunctive)."""
+        return len(self.documents_with_all(terms))
+
+    # ------------------------------------------------------------------
+    # Proximity support for HDK expansion
+    # ------------------------------------------------------------------
+
+    def cooccurring_terms(self, terms: Sequence[str], window: int,
+                          doc_ids: Optional[Iterable[int]] = None
+                          ) -> Dict[str, int]:
+        """Expansion candidates for the key ``terms``.
+
+        Returns ``{candidate_term: local_df}`` for terms that occur within
+        ``window`` positions of *some* occurrence of each key term, in the
+        documents matching the key (or in ``doc_ids`` when given).  The key
+        terms themselves are excluded.
+
+        This realizes the HDK rule that expansions must be *proximity
+        relevant*: combining terms that never appear near each other would
+        index combinations no user queries for, inflating the key set.
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        matching = (set(doc_ids) if doc_ids is not None
+                    else self.documents_with_all(terms))
+        if not matching:
+            return {}
+        key_terms = set(terms)
+        candidates: Dict[str, Set[int]] = {}
+        for doc_id in matching:
+            near = self._positions_near_all(doc_id, terms, window)
+            if not near:
+                continue
+            doc_terms = self._terms_at_positions(doc_id, near)
+            for term in doc_terms:
+                if term in key_terms:
+                    continue
+                candidates.setdefault(term, set()).add(doc_id)
+        return {term: len(docs) for term, docs in candidates.items()}
+
+    def _positions_near_all(self, doc_id: int, terms: Sequence[str],
+                            window: int) -> Set[int]:
+        """Positions within ``window`` of an occurrence of every key term."""
+        result: Optional[Set[int]] = None
+        for term in terms:
+            positions = self._postings.get(term, {}).get(doc_id, ())
+            covered: Set[int] = set()
+            for position in positions:
+                covered.update(range(max(0, position - window),
+                                     position + window + 1))
+            result = covered if result is None else (result & covered)
+            if not result:
+                return set()
+        return result or set()
+
+    def _terms_at_positions(self, doc_id: int,
+                            positions: Set[int]) -> Set[str]:
+        """Terms of ``doc_id`` occurring at any of ``positions``."""
+        sequence = self._forward.get(doc_id, ())
+        length = len(sequence)
+        return {sequence[position] for position in positions
+                if 0 <= position < length}
+
+    def term_sequence(self, doc_id: int) -> Tuple[str, ...]:
+        """The analyzed term sequence of a document (forward index)."""
+        return self._forward[doc_id]

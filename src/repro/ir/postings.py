@@ -1,0 +1,146 @@
+"""Postings and posting lists.
+
+A :class:`Posting` is a document reference with a relevance score — this is
+what travels over the network, so its wire size is fixed and small (the
+heart of the paper's bounded-bandwidth argument).  A :class:`PostingList`
+carries the truncation flag that drives query-lattice pruning: an
+*untruncated* list is complete, so every sub-combination of its key is
+redundant for the query at hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Posting", "PostingList", "POSTING_WIRE_BYTES"]
+
+#: Wire size of one posting: 8-byte document id + 8-byte score.
+POSTING_WIRE_BYTES = 16
+
+#: Fixed posting-list envelope: global df (8) + truncated flag (1) +
+#: length prefix (4).
+_LIST_ENVELOPE_BYTES = 13
+
+
+@dataclass(frozen=True)
+class Posting:
+    """A scored document reference."""
+
+    doc_id: int
+    score: float
+
+    def wire_size(self) -> int:
+        """Bytes this posting occupies in a message payload."""
+        return POSTING_WIRE_BYTES
+
+
+class PostingList:
+    """A (possibly truncated) list of postings for one key.
+
+    Invariants maintained by construction:
+
+    * entries are sorted by descending score (ties broken by ascending
+      document id, so ordering is total and deterministic);
+    * document ids are unique;
+    * ``global_df`` is the *untruncated* result-set size; ``truncated`` is
+      true iff ``len(entries) < global_df``.
+    """
+
+    __slots__ = ("entries", "global_df")
+
+    def __init__(self, entries: Optional[Iterable[Posting]] = None,
+                 global_df: Optional[int] = None):
+        ordered = sorted(entries or [],
+                         key=lambda posting: (-posting.score, posting.doc_id))
+        deduped: List[Posting] = []
+        seen = set()
+        for posting in ordered:
+            if posting.doc_id not in seen:
+                seen.add(posting.doc_id)
+                deduped.append(posting)
+        self.entries: List[Posting] = deduped
+        self.global_df: int = (len(deduped) if global_df is None
+                               else int(global_df))
+        if self.global_df < len(self.entries):
+            raise ValueError(
+                f"global_df {self.global_df} smaller than stored entries "
+                f"{len(self.entries)}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def truncated(self) -> bool:
+        """True when the stored entries are a strict prefix of the result."""
+        return len(self.entries) < self.global_df
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def doc_ids(self) -> List[int]:
+        """Document ids in rank order."""
+        return [posting.doc_id for posting in self.entries]
+
+    def wire_size(self) -> int:
+        """Bytes the list occupies in a message payload.
+
+        Constant-bounded for truncated lists — the property that makes
+        AlvisP2P retrieval traffic independent of collection size.
+        """
+        return _LIST_ENVELOPE_BYTES + POSTING_WIRE_BYTES * len(self.entries)
+
+    # ------------------------------------------------------------------
+
+    def truncate(self, k: int) -> "PostingList":
+        """Return a copy keeping only the top ``k`` entries.
+
+        ``global_df`` is preserved, so the copy knows it is truncated.
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        clone = PostingList(self.entries[:k], global_df=self.global_df)
+        return clone
+
+    def merge(self, other: "PostingList",
+              limit: Optional[int] = None) -> "PostingList":
+        """Merge two lists (max score wins on duplicate ids).
+
+        ``global_df`` of the merge is a lower bound: the true union size is
+        unknown without full lists, so we take the max of the inputs and the
+        merged length — sufficient for the aggregation protocol, which
+        sums *contributing* dfs separately.
+        """
+        by_id = {}
+        for posting in list(self.entries) + list(other.entries):
+            existing = by_id.get(posting.doc_id)
+            if existing is None or posting.score > existing.score:
+                by_id[posting.doc_id] = posting
+        merged = sorted(by_id.values(),
+                        key=lambda posting: (-posting.score, posting.doc_id))
+        if limit is not None:
+            merged = merged[:limit]
+        global_df = max(self.global_df, other.global_df, len(by_id))
+        return PostingList(merged, global_df=global_df)
+
+    @staticmethod
+    def union(lists: Iterable["PostingList"],
+              limit: Optional[int] = None) -> "PostingList":
+        """Union of many lists (max score per document)."""
+        result = PostingList()
+        for posting_list in lists:
+            result = result.merge(posting_list, limit=None)
+        if limit is not None:
+            result = PostingList(result.entries[:limit],
+                                 global_df=result.global_df)
+        return result
+
+    def __repr__(self) -> str:
+        flag = "truncated" if self.truncated else "complete"
+        return (f"PostingList({len(self.entries)}/{self.global_df} "
+                f"{flag})")

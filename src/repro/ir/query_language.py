@@ -1,0 +1,289 @@
+"""Structured queries for the local search engine (Layer 5).
+
+Section 3 of the paper: a sophisticated local engine "can support complex
+structured queries or/and employ a particular ranking strategy".  This
+module provides that capability: a small boolean query language evaluated
+against the positional inverted index, with
+
+* ``AND`` / ``OR`` / ``NOT`` operators (``AND`` binds tighter than
+  ``OR``; ``NOT`` is a prefix operator),
+* parentheses for grouping,
+* ``"quoted phrases"`` matched positionally (adjacent index terms), and
+* bare terms (analyzed with the engine's pipeline, so ``Retrieval``
+  matches ``retrieving``).
+
+Grammar (recursive descent)::
+
+    query   := or_expr
+    or_expr := and_expr ( OR and_expr )*
+    and_expr:= unary ( [AND] unary )*        # juxtaposition = AND
+    unary   := NOT unary | atom
+    atom    := '(' or_expr ')' | PHRASE | TERM
+
+Evaluation returns the matching document-id set; ranking of the matches
+is delegated to the engine's BM25 over the query's positive terms.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+__all__ = ["QuerySyntaxError", "QueryNode", "Term", "Phrase", "And",
+           "Or", "Not", "parse_query", "evaluate"]
+
+
+class QuerySyntaxError(ValueError):
+    """Raised on malformed structured queries."""
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+class QueryNode:
+    """Base class of query AST nodes."""
+
+    def positive_terms(self) -> List[str]:
+        """Analyzed terms usable for ranking (NOT-branches excluded)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Term(QueryNode):
+    """A single analyzed index term."""
+
+    term: str
+
+    def positive_terms(self) -> List[str]:
+        return [self.term]
+
+
+@dataclass(frozen=True)
+class Phrase(QueryNode):
+    """A positional phrase: terms adjacent in analyzed order."""
+
+    terms: tuple
+
+    def positive_terms(self) -> List[str]:
+        return list(self.terms)
+
+
+@dataclass(frozen=True)
+class And(QueryNode):
+    children: tuple
+
+    def positive_terms(self) -> List[str]:
+        terms: List[str] = []
+        for child in self.children:
+            terms.extend(child.positive_terms())
+        return terms
+
+
+@dataclass(frozen=True)
+class Or(QueryNode):
+    children: tuple
+
+    def positive_terms(self) -> List[str]:
+        terms: List[str] = []
+        for child in self.children:
+            terms.extend(child.positive_terms())
+        return terms
+
+
+@dataclass(frozen=True)
+class Not(QueryNode):
+    child: QueryNode
+
+    def positive_terms(self) -> List[str]:
+        return []  # negated terms must not contribute to ranking
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer + parser
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"""
+    \s*(
+        \(            |
+        \)            |
+        "[^"]*"       |
+        \bAND\b       |
+        \bOR\b        |
+        \bNOT\b       |
+        [^\s()"]+
+    )""", re.VERBOSE)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QuerySyntaxError(
+                f"cannot tokenize at: {remainder[:20]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str], analyzer):
+        self.tokens = tokens
+        self.analyzer = analyzer
+        self.position = 0
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query")
+        self.position += 1
+        return token
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> QueryNode:
+        node = self.or_expr()
+        if self.peek() is not None:
+            raise QuerySyntaxError(
+                f"unexpected token {self.peek()!r}")
+        return node
+
+    def or_expr(self) -> QueryNode:
+        children = [self.and_expr()]
+        while self.peek() == "OR":
+            self.take()
+            children.append(self.and_expr())
+        if len(children) == 1:
+            return children[0]
+        return Or(tuple(children))
+
+    def and_expr(self) -> QueryNode:
+        children = [self.unary()]
+        while True:
+            token = self.peek()
+            if token == "AND":
+                self.take()
+                children.append(self.unary())
+            elif token is not None and token not in ("OR", ")"):
+                children.append(self.unary())  # implicit AND
+            else:
+                break
+        if len(children) == 1:
+            return children[0]
+        return And(tuple(children))
+
+    def unary(self) -> QueryNode:
+        if self.peek() == "NOT":
+            self.take()
+            return Not(self.unary())
+        return self.atom()
+
+    def atom(self) -> QueryNode:
+        token = self.take()
+        if token == "(":
+            node = self.or_expr()
+            if self.take() != ")":
+                raise QuerySyntaxError("missing closing parenthesis")
+            return node
+        if token == ")":
+            raise QuerySyntaxError("unexpected ')'")
+        if token.startswith('"'):
+            terms = self.analyzer.analyze(token.strip('"'))
+            if not terms:
+                raise QuerySyntaxError(
+                    f"phrase {token!r} has no index terms")
+            if len(terms) == 1:
+                return Term(terms[0])
+            return Phrase(tuple(terms))
+        terms = self.analyzer.analyze(token)
+        if not terms:
+            raise QuerySyntaxError(
+                f"term {token!r} has no index terms (stopword?)")
+        if len(terms) == 1:
+            return Term(terms[0])
+        return Phrase(tuple(terms))  # e.g. "peer-to-peer" splits
+
+
+def parse_query(text: str, analyzer) -> QueryNode:
+    """Parse a structured query string into an AST.
+
+    >>> from repro.ir.analysis import Analyzer
+    >>> node = parse_query('peer AND (ranking OR "posting list")',
+    ...                    Analyzer())
+    >>> isinstance(node, And)
+    True
+    """
+    if not text or not text.strip():
+        raise QuerySyntaxError("empty query")
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QuerySyntaxError("empty query")
+    return _Parser(tokens, analyzer).parse()
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+def _phrase_matches(index, terms: Sequence[str]) -> Set[int]:
+    """Documents where ``terms`` occur at consecutive positions."""
+    candidates = index.documents_with_all(terms)
+    matches = set()
+    for doc_id in candidates:
+        first_positions = index.occurrences(terms[0])
+        starts = ()
+        for occurrence in first_positions:
+            if occurrence.doc_id == doc_id:
+                starts = occurrence.positions
+                break
+        sequence = index.term_sequence(doc_id)
+        length = len(sequence)
+        for start in starts:
+            if start + len(terms) > length:
+                continue
+            if all(sequence[start + offset] == term
+                   for offset, term in enumerate(terms)):
+                matches.add(doc_id)
+                break
+    return matches
+
+
+def evaluate(node: QueryNode, index) -> Set[int]:
+    """Evaluate an AST against an :class:`InvertedIndex`.
+
+    ``NOT`` complements relative to the whole local collection (as usual
+    for boolean IR); a top-level bare ``NOT x`` therefore returns every
+    document without ``x``.
+    """
+    if isinstance(node, Term):
+        return index.documents_with_term(node.term)
+    if isinstance(node, Phrase):
+        return _phrase_matches(index, node.terms)
+    if isinstance(node, And):
+        result: Optional[Set[int]] = None
+        for child in node.children:
+            matched = evaluate(child, index)
+            result = matched if result is None else (result & matched)
+            if not result:
+                return set()
+        return result if result is not None else set()
+    if isinstance(node, Or):
+        result: Set[int] = set()
+        for child in node.children:
+            result |= evaluate(child, index)
+        return result
+    if isinstance(node, Not):
+        universe = set(index.document_ids())
+        return universe - evaluate(node.child, index)
+    raise TypeError(f"unknown query node {type(node).__name__}")

@@ -1,0 +1,114 @@
+"""Relevance scoring: BM25 (the paper's ranking function) and TF-IDF.
+
+The paper (Section 3, footnote 1): "Currently, we are using the
+state-of-the-art BM25 ranking function.  Notice, however, that any other
+function could be used instead, provided that the required global
+statistics are available in the P2P network."  Accordingly, the scoring
+functions here take an explicit :class:`CollectionStatistics` — local
+engines pass local statistics, the distributed ranking layer (L4) passes
+globally aggregated ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence, Union
+
+__all__ = ["BM25Parameters", "CollectionStatistics", "bm25_term_weight",
+           "bm25_score", "tf_idf_score"]
+
+
+@dataclass(frozen=True)
+class BM25Parameters:
+    """The two free parameters of BM25 (Robertson/Spärck Jones defaults)."""
+
+    k1: float = 1.2
+    b: float = 0.75
+
+    def __post_init__(self):
+        if self.k1 < 0:
+            raise ValueError(f"k1 must be >= 0, got {self.k1}")
+        if not 0 <= self.b <= 1:
+            raise ValueError(f"b must be in [0, 1], got {self.b}")
+
+
+@dataclass
+class CollectionStatistics:
+    """The statistics BM25 needs, local or global.
+
+    ``document_frequencies`` may be a mapping or a callable; the callable
+    form lets the distributed ranking layer resolve dfs through the DHT
+    lazily.
+    """
+
+    num_documents: int
+    average_document_length: float
+    document_frequencies: Union[Mapping[str, int], Callable[[str], int]]
+
+    def df(self, term: str) -> int:
+        """Document frequency of ``term`` (0 when unknown)."""
+        if callable(self.document_frequencies):
+            return int(self.document_frequencies(term))
+        return int(self.document_frequencies.get(term, 0))
+
+
+def bm25_term_weight(term_frequency: int, document_frequency: int,
+                     document_length: int, stats: CollectionStatistics,
+                     params: BM25Parameters = BM25Parameters()) -> float:
+    """BM25 contribution of a single term to a document's score.
+
+    Uses the non-negative "plus 1" idf variant (as Lucene/Terrier do) so
+    that terms occurring in more than half the collection do not produce
+    negative scores — important here because truncated posting lists are
+    ranked by this weight and negative weights would invert truncation.
+    """
+    if term_frequency <= 0 or document_frequency <= 0:
+        return 0.0
+    n = max(stats.num_documents, 1)
+    idf = math.log(1.0 + (n - document_frequency + 0.5)
+                   / (document_frequency + 0.5))
+    avgdl = max(stats.average_document_length, 1e-9)
+    normalizer = params.k1 * (1.0 - params.b
+                              + params.b * document_length / avgdl)
+    return idf * term_frequency * (params.k1 + 1.0) \
+        / (term_frequency + normalizer)
+
+
+def bm25_score(query_terms: Sequence[str],
+               term_frequencies: Mapping[str, int],
+               document_length: int, stats: CollectionStatistics,
+               params: BM25Parameters = BM25Parameters()) -> float:
+    """BM25 score of one document against ``query_terms``.
+
+    ``term_frequencies`` maps each query term to its tf in the document.
+    """
+    score = 0.0
+    for term in query_terms:
+        score += bm25_term_weight(term_frequencies.get(term, 0),
+                                  stats.df(term), document_length,
+                                  stats, params)
+    return score
+
+
+def tf_idf_score(query_terms: Sequence[str],
+                 term_frequencies: Mapping[str, int],
+                 document_length: int,
+                 stats: CollectionStatistics) -> float:
+    """Classic lnc-style TF-IDF with length normalization.
+
+    Provided as the "any other function could be used instead" alternative;
+    the quality benchmark (E4) can swap it in to show the architecture is
+    ranking-model agnostic.
+    """
+    if document_length <= 0:
+        return 0.0
+    score = 0.0
+    n = max(stats.num_documents, 1)
+    for term in query_terms:
+        tf = term_frequencies.get(term, 0)
+        df = stats.df(term)
+        if tf <= 0 or df <= 0:
+            continue
+        score += (1.0 + math.log(tf)) * math.log(1.0 + n / df)
+    return score / math.sqrt(document_length)

@@ -1,0 +1,218 @@
+"""The local search engine attached to each peer (Layer 5).
+
+Offers the generic API the paper describes: index local documents, answer
+term-combination scoring requests from the P2P layers, and answer full
+queries locally (the second, "refinement" step of the two-step retrieval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document, DocumentStore
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.postings import Posting, PostingList
+from repro.ir.scoring import (
+    BM25Parameters,
+    CollectionStatistics,
+    bm25_score,
+)
+
+__all__ = ["SearchResult", "LocalSearchEngine"]
+
+#: Number of words of context on each side of a snippet match.
+_SNIPPET_CONTEXT_WORDS = 6
+
+
+@dataclass
+class SearchResult:
+    """One ranked result, mirroring the fields of the client GUI (Fig. 5):
+    hosting-peer URL, title, snippet and relevance score."""
+
+    doc_id: int
+    score: float
+    title: str
+    snippet: str
+    url: str
+    owner_peer: int
+
+
+class LocalSearchEngine:
+    """Per-peer engine: document store + positional index + BM25."""
+
+    def __init__(self, analyzer: Optional[Analyzer] = None,
+                 bm25: BM25Parameters = BM25Parameters()):
+        self.analyzer = analyzer if analyzer is not None else Analyzer()
+        self.store = DocumentStore()
+        self.index = InvertedIndex()
+        self.bm25 = bm25
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def add_document(self, document: Document) -> None:
+        """Index one document into the local engine."""
+        self.store.add(document)
+        terms = self.analyzer.analyze(document.text)
+        self.index.add_document(document.doc_id, terms)
+
+    def remove_document(self, doc_id: int) -> Document:
+        """Remove a document from store and index."""
+        self.index.remove_document(doc_id)
+        return self.store.remove(doc_id)
+
+    @property
+    def num_documents(self) -> int:
+        return len(self.store)
+
+    # ------------------------------------------------------------------
+    # Statistics (exported to the global statistics service)
+    # ------------------------------------------------------------------
+
+    def local_statistics(self) -> CollectionStatistics:
+        """BM25 statistics over the local collection only."""
+        return CollectionStatistics(
+            num_documents=self.index.num_documents,
+            average_document_length=self.index.average_document_length,
+            document_frequencies=self.index.document_frequency,
+        )
+
+    # ------------------------------------------------------------------
+    # Scoring services used by the distributed index (L3)
+    # ------------------------------------------------------------------
+
+    def score_document(self, doc_id: int, terms: Sequence[str],
+                       stats: Optional[CollectionStatistics] = None) -> float:
+        """BM25 score of one local document for a term combination."""
+        if stats is None:
+            stats = self.local_statistics()
+        term_frequencies = {term: self.index.term_frequency(term, doc_id)
+                            for term in terms}
+        return bm25_score(terms, term_frequencies,
+                          self.index.document_length(doc_id), stats,
+                          self.bm25)
+
+    def top_k_for_key(self, terms: Sequence[str], k: int,
+                      stats: Optional[CollectionStatistics] = None
+                      ) -> PostingList:
+        """Local top-``k`` postings for a key (conjunctive semantics).
+
+        This is the primitive both indexing strategies are built on: HDK
+        calls it when publishing keys; QDI calls it during on-demand
+        indexing.  The returned list's ``global_df`` is the *local* df; the
+        key's responsible peer aggregates dfs across contributors.
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        matching = self.index.documents_with_all(terms)
+        postings = [Posting(doc_id, self.score_document(doc_id, terms, stats))
+                    for doc_id in matching]
+        full = PostingList(postings, global_df=len(matching))
+        return full.truncate(k) if len(full) > k else full
+
+    # ------------------------------------------------------------------
+    # Local querying (Layer 5 front end + two-step refinement)
+    # ------------------------------------------------------------------
+
+    def search(self, query: str, k: int = 10,
+               stats: Optional[CollectionStatistics] = None
+               ) -> List[SearchResult]:
+        """Rank local documents for ``query`` (disjunctive BM25).
+
+        Used both as the standalone local engine and as the refinement
+        step when remote peers forward a query to the document holder.
+        """
+        terms = self.analyzer.analyze_query(query)
+        if not terms:
+            return []
+        if stats is None:
+            stats = self.local_statistics()
+        candidates = set()
+        for term in terms:
+            candidates |= self.index.documents_with_term(term)
+        scored = []
+        for doc_id in candidates:
+            term_frequencies = {term: self.index.term_frequency(term, doc_id)
+                                for term in terms}
+            score = bm25_score(terms, term_frequencies,
+                               self.index.document_length(doc_id), stats,
+                               self.bm25)
+            scored.append((score, doc_id))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        results = []
+        for score, doc_id in scored[:k]:
+            document = self.store.get(doc_id)
+            assert document is not None
+            results.append(SearchResult(
+                doc_id=doc_id, score=score, title=document.title,
+                snippet=self.make_snippet(document, terms),
+                url=document.url, owner_peer=document.owner_peer))
+        return results
+
+    def structured_search(self, query: str, k: int = 10,
+                          stats: Optional[CollectionStatistics] = None
+                          ) -> List[SearchResult]:
+        """Boolean/phrase search ("complex structured queries", §3).
+
+        Parses ``query`` with :mod:`repro.ir.query_language`, evaluates
+        the boolean/phrase semantics against the positional index, and
+        ranks the matching documents by BM25 over the query's positive
+        terms.  Raises :class:`QuerySyntaxError` on malformed input.
+        """
+        from repro.ir.query_language import evaluate, parse_query
+        node = parse_query(query, self.analyzer)
+        matching = evaluate(node, self.index)
+        ranking_terms = list(dict.fromkeys(node.positive_terms()))
+        if stats is None:
+            stats = self.local_statistics()
+        scored = []
+        for doc_id in matching:
+            score = self.score_document(doc_id, ranking_terms, stats) \
+                if ranking_terms else 0.0
+            scored.append((score, doc_id))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        results = []
+        for score, doc_id in scored[:k]:
+            document = self.store.get(doc_id)
+            assert document is not None
+            results.append(SearchResult(
+                doc_id=doc_id, score=score, title=document.title,
+                snippet=self.make_snippet(document, ranking_terms),
+                url=document.url, owner_peer=document.owner_peer))
+        return results
+
+    def make_snippet(self, document: Document, terms: Sequence[str],
+                     highlight: bool = False) -> str:
+        """Extract a short text window around the densest term match.
+
+        With ``highlight=True``, words whose analyzed form matches a
+        query term are wrapped in ``**…**`` (what the GUI renders in
+        bold in Figure 5).
+        """
+        words = document.text.split()
+        if not words:
+            return ""
+        term_set = set(terms)
+        best_index = 0
+        best_hits = -1
+        window = 2 * _SNIPPET_CONTEXT_WORDS
+        analyzed = [self.analyzer.analyze(word) for word in words]
+        flat = [parts[0] if parts else "" for parts in analyzed]
+        for start in range(0, max(1, len(words) - window)):
+            hits = sum(1 for token in flat[start:start + window]
+                       if token in term_set)
+            if hits > best_hits:
+                best_hits = hits
+                best_index = start
+        selected = words[best_index:best_index + window]
+        if highlight:
+            selected = [
+                f"**{word}**"
+                if flat[best_index + offset] in term_set else word
+                for offset, word in enumerate(selected)]
+        prefix = "..." if best_index > 0 else ""
+        suffix = "..." if best_index + window < len(words) else ""
+        return f"{prefix}{' '.join(selected)}{suffix}"

@@ -1,0 +1,209 @@
+"""Porter stemmer.
+
+A faithful implementation of M.F. Porter's 1980 suffix-stripping algorithm
+("An algorithm for suffix stripping", *Program* 14(3)), the stemmer used by
+Terrier and virtually every IR engine of the AlvisP2P era.  Implemented
+from the published algorithm description.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PorterStemmer"]
+
+_VOWELS = "aeiou"
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; ``stem(word)`` is the whole API.
+
+    >>> PorterStemmer().stem("caresses")
+    'caress'
+    >>> PorterStemmer().stem("relational")
+    'relat'
+    >>> PorterStemmer().stem("sky")
+    'sky'
+    """
+
+    # ------------------------------------------------------------------
+    # Measure and predicates over the word being stemmed
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, index: int) -> bool:
+        letter = word[index]
+        if letter in _VOWELS:
+            return False
+        if letter == "y":
+            if index == 0:
+                return True
+            return not PorterStemmer._is_consonant(word, index - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem: str) -> int:
+        """The 'measure' m of a stem: the number of VC sequences."""
+        forms = []
+        for index in range(len(stem)):
+            forms.append("c" if cls._is_consonant(stem, index) else "v")
+        collapsed = []
+        for form in forms:
+            if not collapsed or collapsed[-1] != form:
+                collapsed.append(form)
+        pattern = "".join(collapsed)
+        if pattern.startswith("c"):
+            pattern = pattern[1:]
+        if pattern.endswith("v"):
+            pattern = pattern[:-1]
+        # What remains alternates "vcvc..."; m is the number of VC pairs.
+        return len(pattern) // 2
+
+    @classmethod
+    def _contains_vowel(cls, stem: str) -> bool:
+        return any(not cls._is_consonant(stem, index)
+                   for index in range(len(stem)))
+
+    @classmethod
+    def _ends_double_consonant(cls, stem: str) -> bool:
+        if len(stem) < 2:
+            return False
+        if stem[-1] != stem[-2]:
+            return False
+        return cls._is_consonant(stem, len(stem) - 1)
+
+    @classmethod
+    def _ends_cvc(cls, stem: str) -> bool:
+        """consonant-vowel-consonant, final consonant not w, x or y."""
+        if len(stem) < 3:
+            return False
+        if not cls._is_consonant(stem, len(stem) - 3):
+            return False
+        if cls._is_consonant(stem, len(stem) - 2):
+            return False
+        if not cls._is_consonant(stem, len(stem) - 1):
+            return False
+        return stem[-1] not in "wxy"
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if self._measure(stem) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed") and self._contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and self._contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_SUFFIXES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+        ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+        ("alli", "al"), ("entli", "ent"), ("eli", "e"), ("ousli", "ous"),
+        ("ization", "ize"), ("ation", "ate"), ("ator", "ate"),
+        ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+        ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP3_SUFFIXES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _step4(self, word: str) -> str:
+        if word.endswith("ion") and len(word) > 3 and word[-4] in "st":
+            stem = word[:-3]
+            if self._measure(stem) > 1:
+                return stem
+            return word
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            measure = self._measure(stem)
+            if measure > 1:
+                return stem
+            if measure == 1 and not self._ends_cvc(stem):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (word.endswith("ll") and self._measure(word) > 1):
+            return word[:-1]
+        return word
+
+    # ------------------------------------------------------------------
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of ``word`` (assumed lowercase)."""
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word

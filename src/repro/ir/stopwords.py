@@ -1,0 +1,31 @@
+"""English stopword list.
+
+Stopword removal matters doubly in AlvisP2P: besides the usual retrieval
+quality argument, stopwords are exactly the terms whose posting lists are
+largest, i.e. the ones that make single-term P2P indexes unscalable.  The
+HDK approach additionally neutralizes remaining frequent terms through key
+expansion, but dropping classic stopwords first keeps the key vocabulary
+sane.
+
+The list below is the classic SMART-derived short list used by many IR
+systems.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+__all__ = ["DEFAULT_STOPWORDS"]
+
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset("""
+a about above after again against all am an and any are aren as at be
+because been before being below between both but by can cannot could
+couldn did didn do does doesn doing don down during each few for from
+further had hadn has hasn have haven having he her here hers herself him
+himself his how i if in into is isn it its itself just me more most mustn
+my myself no nor not now of off on once only or other our ours ourselves
+out over own same shan she should shouldn so some such than that the their
+theirs them themselves then there these they this those through to too
+under until up very was wasn we were weren what when where which while who
+whom why will with won would wouldn you your yours yourself yourselves
+""".split())

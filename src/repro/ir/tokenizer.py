@@ -1,0 +1,32 @@
+"""Tokenization.
+
+A deliberately simple, deterministic tokenizer: lowercase, split on
+non-alphanumeric characters, drop pure punctuation and overly long junk
+tokens.  This matches the behaviour of classic IR toolkits (Terrier's
+default English tokenizer) closely enough for the reproduction, where the
+interesting behaviour lives above the tokenizer.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["tokenize", "MAX_TOKEN_LENGTH"]
+
+#: Tokens longer than this are discarded as junk (base64 blobs, URLs...).
+MAX_TOKEN_LENGTH = 40
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into lowercase alphanumeric tokens.
+
+    >>> tokenize("Hello, World! hello-world 42")
+    ['hello', 'world', 'hello', 'world', '42']
+    >>> tokenize("")
+    []
+    """
+    return [token for token in _TOKEN_PATTERN.findall(text.lower())
+            if len(token) <= MAX_TOKEN_LENGTH]

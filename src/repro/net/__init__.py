@@ -1,0 +1,32 @@
+"""Transport layer (L1 of the AlvisP2P architecture).
+
+Simulated point-to-point messaging between peers with:
+
+* an explicit per-message **byte-size model** (:mod:`repro.net.message`) so
+  that bandwidth experiments measure realistic wire sizes,
+* pluggable **latency models** (:mod:`repro.net.latency`), and
+* a **transport** that accounts every byte by message type
+  (:mod:`repro.net.transport`).
+"""
+
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.net.message import HEADER_BYTES, Message, encoded_size
+from repro.net.transport import DeliveryError, Endpoint, Transport
+
+__all__ = [
+    "ConstantLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "UniformLatency",
+    "HEADER_BYTES",
+    "Message",
+    "encoded_size",
+    "DeliveryError",
+    "Endpoint",
+    "Transport",
+]

@@ -1,0 +1,83 @@
+"""Latency models for the simulated transport.
+
+The demo ran across the Internet between EPFL and Zagreb; wide-area latency
+is well approximated by a log-normal distribution.  Constant and uniform
+models are provided for unit tests and for experiments where latency is not
+the variable under study.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+
+__all__ = ["LatencyModel", "ConstantLatency", "UniformLatency",
+           "LogNormalLatency"]
+
+
+class LatencyModel(abc.ABC):
+    """Maps a (src, dst, size) triple to a one-way delay in virtual seconds."""
+
+    @abc.abstractmethod
+    def delay(self, rng: random.Random, src: int, dst: int,
+              size_bytes: int) -> float:
+        """Return the one-way delay for a message of ``size_bytes``."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``seconds`` — the default for tests."""
+
+    def __init__(self, seconds: float = 0.05):
+        if seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {seconds}")
+        self.seconds = seconds
+
+    def delay(self, rng: random.Random, src: int, dst: int,
+              size_bytes: int) -> float:
+        return self.seconds
+
+
+class UniformLatency(LatencyModel):
+    """Uniform delay in ``[low, high]`` seconds."""
+
+    def __init__(self, low: float = 0.01, high: float = 0.1):
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got {low}, {high}")
+        self.low = low
+        self.high = high
+
+    def delay(self, rng: random.Random, src: int, dst: int,
+              size_bytes: int) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normal propagation delay plus a bandwidth-proportional term.
+
+    ``median_seconds`` sets the propagation median; ``sigma`` the spread.
+    ``bytes_per_second`` adds serialization delay so that large posting-list
+    transfers are visibly slower than small control messages — this is what
+    makes the single-term baseline's latency blow up along with its
+    bandwidth in experiment E2.
+    """
+
+    def __init__(self, median_seconds: float = 0.08, sigma: float = 0.5,
+                 bytes_per_second: float = 1_000_000.0):
+        if median_seconds <= 0:
+            raise ValueError(
+                f"median_seconds must be > 0, got {median_seconds}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if bytes_per_second <= 0:
+            raise ValueError(
+                f"bytes_per_second must be > 0, got {bytes_per_second}")
+        self.mu = math.log(median_seconds)
+        self.sigma = sigma
+        self.bytes_per_second = bytes_per_second
+
+    def delay(self, rng: random.Random, src: int, dst: int,
+              size_bytes: int) -> float:
+        propagation = rng.lognormvariate(self.mu, self.sigma)
+        serialization = size_bytes / self.bytes_per_second
+        return propagation + serialization

@@ -1,0 +1,176 @@
+"""The simulated transport.
+
+Two delivery modes are offered:
+
+* :meth:`Transport.request` — synchronous request/response.  The handler of
+  the destination endpoint runs immediately; bytes are accounted in both
+  directions and the round-trip latency is *returned* so callers can
+  accumulate per-operation virtual time without running the event loop.
+  The distributed-IR layers (L3/L4) use this mode: their protocols are
+  strictly request/reply and the interesting measurements are bytes and
+  message counts.
+
+* :meth:`Transport.send_async` — schedules delivery through the simulator's
+  event queue after a sampled latency.  The DHT congestion-control
+  experiment (E8) uses this mode, where queueing effects matter.
+
+Every byte is accounted twice over: globally per message kind
+(``net.bytes.sent.<kind>``) and per destination peer (for load-balance
+metrics).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Protocol, Tuple
+
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message
+from repro.sim.events import Simulator
+
+__all__ = ["DeliveryError", "Endpoint", "Transport"]
+
+
+class DeliveryError(Exception):
+    """Raised when a message is addressed to an unknown or dead endpoint."""
+
+
+class Endpoint(Protocol):
+    """Anything attachable to the transport.
+
+    ``on_message`` may return a reply message (or ``None`` for one-way
+    traffic).
+    """
+
+    def on_message(self, message: Message) -> Optional[Message]:
+        """Handle one inbound message, optionally returning a reply."""
+        ...
+
+
+class Transport:
+    """Point-to-point messaging between registered endpoints."""
+
+    def __init__(self, simulator: Simulator,
+                 latency: Optional[LatencyModel] = None,
+                 rng: Optional[random.Random] = None):
+        self.simulator = simulator
+        self.latency = latency if latency is not None else ConstantLatency()
+        self.rng = rng if rng is not None else random.Random(0)
+        self._endpoints: Dict[int, Endpoint] = {}
+        #: Per-peer inbound traffic, for load-balance experiments.
+        self.bytes_in: Dict[int, int] = {}
+        self.msgs_in: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def register(self, peer_id: int, endpoint: Endpoint) -> None:
+        """Attach ``endpoint`` under ``peer_id``; replaces any previous one."""
+        self._endpoints[peer_id] = endpoint
+        self.bytes_in.setdefault(peer_id, 0)
+        self.msgs_in.setdefault(peer_id, 0)
+
+    def unregister(self, peer_id: int) -> None:
+        """Detach a peer (e.g. on churn departure)."""
+        self._endpoints.pop(peer_id, None)
+
+    def is_registered(self, peer_id: int) -> bool:
+        """True if a live endpoint is attached under ``peer_id``."""
+        return peer_id in self._endpoints
+
+    def endpoints(self) -> Tuple[int, ...]:
+        """Ids of all registered endpoints."""
+        return tuple(self._endpoints.keys())
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _account(self, message: Message) -> None:
+        size = message.size_bytes()
+        metrics = self.simulator.metrics
+        metrics.counter("net.msgs.sent").increment()
+        metrics.counter(f"net.msgs.sent.{message.kind}").increment()
+        metrics.counter("net.bytes.sent").increment(size)
+        metrics.counter(f"net.bytes.sent.{message.kind}").increment(size)
+        self.bytes_in[message.dst] = self.bytes_in.get(message.dst, 0) + size
+        self.msgs_in[message.dst] = self.msgs_in.get(message.dst, 0) + 1
+
+    def reset_load_counters(self) -> None:
+        """Zero the per-peer inbound counters (between experiment phases)."""
+        for peer_id in self.bytes_in:
+            self.bytes_in[peer_id] = 0
+        for peer_id in self.msgs_in:
+            self.msgs_in[peer_id] = 0
+
+    # ------------------------------------------------------------------
+    # Synchronous request/response
+    # ------------------------------------------------------------------
+
+    def request(self, message: Message) -> Tuple[Optional[Message], float]:
+        """Deliver ``message`` synchronously and return ``(reply, rtt)``.
+
+        ``rtt`` is the simulated round-trip time (request latency plus, when
+        the handler returned a reply, the reply's latency).  Raises
+        :class:`DeliveryError` when the destination is not registered.
+        """
+        endpoint = self._endpoints.get(message.dst)
+        if endpoint is None:
+            raise DeliveryError(
+                f"no endpoint registered for peer {message.dst}")
+        self._account(message)
+        elapsed = self.latency.delay(self.rng, message.src, message.dst,
+                                     message.size_bytes())
+        reply = endpoint.on_message(message)
+        if reply is not None:
+            self._account(reply)
+            elapsed += self.latency.delay(self.rng, reply.src, reply.dst,
+                                          reply.size_bytes())
+        return reply, elapsed
+
+    def send_local(self, message: Message) -> Optional[Message]:
+        """Loopback delivery: no bytes accounted, no latency.
+
+        Used when a peer addresses itself (the DHT frequently resolves a key
+        to the requesting peer); real systems short-circuit this in memory.
+        """
+        endpoint = self._endpoints.get(message.dst)
+        if endpoint is None:
+            raise DeliveryError(
+                f"no endpoint registered for peer {message.dst}")
+        return endpoint.on_message(message)
+
+    # ------------------------------------------------------------------
+    # Asynchronous (event-loop) delivery
+    # ------------------------------------------------------------------
+
+    def send_async(self, message: Message,
+                   on_reply: Optional[Callable[[Message], None]] = None,
+                   on_drop: Optional[Callable[[Message], None]] = None) -> None:
+        """Schedule delivery of ``message`` through the event queue.
+
+        If the destination handler returns a reply and ``on_reply`` is
+        given, the reply is scheduled back to the caller after its own
+        latency.  If the destination vanished by delivery time (churn),
+        ``on_drop`` is invoked instead of raising.
+        """
+        self._account(message)
+        delay = self.latency.delay(self.rng, message.src, message.dst,
+                                   message.size_bytes())
+
+        def deliver() -> None:
+            endpoint = self._endpoints.get(message.dst)
+            if endpoint is None:
+                if on_drop is not None:
+                    on_drop(message)
+                return
+            reply = endpoint.on_message(message)
+            if reply is not None and on_reply is not None:
+                self._account(reply)
+                reply_delay = self.latency.delay(
+                    self.rng, reply.src, reply.dst, reply.size_bytes())
+                self.simulator.schedule(reply_delay,
+                                        lambda: on_reply(reply))
+
+        self.simulator.schedule(delay, deliver)

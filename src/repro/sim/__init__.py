@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel.
+
+The AlvisP2P paper demonstrates a live Internet deployment; this package is
+the laptop-scale substitute.  It provides a virtual clock, an event queue and
+a metrics registry, on top of which :mod:`repro.net` builds a point-to-point
+transport and :mod:`repro.dht` a structured overlay.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue, Simulator
+from repro.sim.metrics import Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+]

@@ -1,0 +1,43 @@
+"""Virtual time.
+
+All timestamps in the simulation are floats in abstract "virtual seconds";
+nothing ever reads the wall clock, which keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonically advancing virtual clock owned by the simulator."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError(f"start time must be >= 0, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Advance the clock to ``timestamp``.
+
+        Raises :class:`ValueError` on attempts to move backwards, which
+        would indicate an event-queue ordering bug.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: {timestamp} < {self._now}")
+        self._now = timestamp
+
+    def advance_by(self, delta: float) -> None:
+        """Advance the clock by a non-negative ``delta``."""
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        self._now += delta
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,148 @@
+"""Event queue and simulator driver.
+
+A classic discrete-event loop: events are (time, sequence, callback) tuples
+ordered by time with a FIFO tiebreak, so same-timestamp events run in
+scheduling order and the simulation is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.clock import VirtualClock
+from repro.sim.metrics import MetricsRegistry
+
+__all__ = ["Event", "EventQueue", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering compares ``(time, sequence)`` only; the callback itself is
+    excluded from comparison.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects."""
+
+    def __init__(self):
+        self._heap: List[Event] = []
+        self._sequence = itertools.count()
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at ``time`` and return its handle."""
+        event = Event(time=time, sequence=next(self._sequence),
+                      callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the earliest pending event without popping."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class Simulator:
+    """Drives the virtual clock through the event queue.
+
+    The simulator is intentionally tiny: components schedule callbacks via
+    :meth:`schedule` / :meth:`schedule_at` and the experiment driver calls
+    :meth:`run` (to exhaustion) or :meth:`run_until`.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self.clock = VirtualClock(start_time)
+        self.queue = EventQueue()
+        self.metrics = MetricsRegistry()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.queue.push(self.clock.now + delay, callback)
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < {self.clock.now}")
+        return self.queue.push(time, callback)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire).
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while max_events is None or processed < max_events:
+            event = self.queue.pop()
+            if event is None:
+                break
+            self.clock.advance_to(event.time)
+            event.callback()
+            processed += 1
+            self._events_processed += 1
+        return processed
+
+    def run_until(self, end_time: float) -> int:
+        """Run events with ``time <= end_time``; park the clock at the end.
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            event = self.queue.pop()
+            assert event is not None
+            self.clock.advance_to(event.time)
+            event.callback()
+            processed += 1
+            self._events_processed += 1
+        if end_time > self.clock.now:
+            self.clock.advance_to(end_time)
+        return processed

@@ -1,0 +1,98 @@
+"""Metrics registry: named counters and histograms.
+
+The AlvisP2P evaluation surface is almost entirely metric-shaped (bytes per
+query, hops per lookup, postings stored per peer), so the kernel ships a
+small registry that every layer writes into.  Metric names are hierarchical
+strings like ``"net.bytes.sent.QueryRequest"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.util.stats import summarize
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing counter."""
+
+    name: str
+    value: float = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Stores raw samples; summarized on demand.
+
+    Experiments are laptop-scale (at most a few million samples), so keeping
+    raw values is affordable and lets the harness compute any percentile.
+    """
+
+    name: str
+    samples: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.samples.append(value)
+
+    def summary(self) -> Dict[str, float]:
+        """Return mean/percentiles; raises if no samples were recorded."""
+        return summarize(self.samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class MetricsRegistry:
+    """Lazily creates counters and histograms by name."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Return (creating if needed) the histogram called ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def counter_value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a counter, or ``default`` if never written."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else default
+
+    def counters_with_prefix(self, prefix: str) -> Mapping[str, float]:
+        """Return ``{name: value}`` for all counters under ``prefix``."""
+        return {name: counter.value
+                for name, counter in self._counters.items()
+                if name.startswith(prefix)}
+
+    def total_with_prefix(self, prefix: str) -> float:
+        """Sum of all counters whose name starts with ``prefix``."""
+        return sum(self.counters_with_prefix(prefix).values())
+
+    def reset(self) -> None:
+        """Drop all recorded metrics (used between experiment phases)."""
+        self._counters.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat copy of every counter value (for experiment reports)."""
+        return {name: counter.value
+                for name, counter in self._counters.items()}

@@ -1,0 +1,27 @@
+"""Shared utilities: seeded randomness, Zipf sampling, summary statistics.
+
+Everything in this package is deterministic given explicit seeds; no module
+here reads the wall clock or global random state.
+"""
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.stats import (
+    RunningStats,
+    gini_coefficient,
+    max_over_mean,
+    percentile,
+    summarize,
+)
+from repro.util.zipf import ZipfSampler, zipf_weights
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "RunningStats",
+    "gini_coefficient",
+    "max_over_mean",
+    "percentile",
+    "summarize",
+    "ZipfSampler",
+    "zipf_weights",
+]

@@ -1,0 +1,185 @@
+"""Summary statistics for experiment reporting.
+
+The evaluation harness reports distributions (lookup hops, per-peer loads,
+per-query bytes); these helpers are dependency-free so that the core library
+itself does not require numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = [
+    "percentile",
+    "gini_coefficient",
+    "max_over_mean",
+    "summarize",
+    "RunningStats",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile (0..100) with linear interpolation.
+
+    >>> percentile([1, 2, 3, 4], 50)
+    2.5
+    >>> percentile([5], 99)
+    5
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative distribution (0 = perfectly even).
+
+    Used for the load-balancing experiment (E6): the paper claims acceptable
+    storage and message load balance across peers.
+
+    >>> gini_coefficient([1, 1, 1, 1])
+    0.0
+    >>> gini_coefficient([0, 0, 0, 1]) > 0.7
+    True
+    """
+    if not values:
+        raise ValueError("gini of empty sequence")
+    if any(v < 0 for v in values):
+        raise ValueError("gini requires non-negative values")
+    ordered = sorted(values)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    n = len(ordered)
+    cumulative = 0.0
+    weighted = 0.0
+    for index, value in enumerate(ordered, start=1):
+        cumulative += value
+        weighted += index * value
+    gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n
+    # Clamp tiny negative values from floating-point cancellation.
+    return min(1.0, max(0.0, gini))
+
+
+def max_over_mean(values: Sequence[float]) -> float:
+    """Ratio of the maximum to the mean; 1.0 means perfectly balanced."""
+    if not values:
+        raise ValueError("max_over_mean of empty sequence")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    return max(values) / mean
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Return a dict of common summary statistics for reporting tables."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = sum((v - mean) ** 2 for v in ordered) / n
+    return {
+        "n": float(n),
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "min": ordered[0],
+        "p50": percentile(ordered, 50),
+        "p90": percentile(ordered, 90),
+        "p99": percentile(ordered, 99),
+        "max": ordered[-1],
+    }
+
+
+@dataclass
+class RunningStats:
+    """Single-pass mean/variance accumulator (Welford's algorithm).
+
+    Useful when an experiment streams millions of samples and storing them
+    all would be wasteful.
+    """
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+    _min: float = field(default=math.inf)
+    _max: float = field(default=-math.inf)
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def add_all(self, values: Iterable[float]) -> None:
+        """Fold an iterable of samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self._max
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equivalent to seeing both sample sets."""
+        if other.count == 0:
+            merged = RunningStats()
+            merged.count = self.count
+            merged._mean = self._mean
+            merged._m2 = self._m2
+            merged._min = self._min
+            merged._max = self._max
+            return merged
+        if self.count == 0:
+            return other.merge(self)
+        merged = RunningStats()
+        merged.count = self.count + other.count
+        delta = other._mean - self._mean
+        merged._mean = self._mean + delta * other.count / merged.count
+        merged._m2 = (self._m2 + other._m2 +
+                      delta * delta * self.count * other.count / merged.count)
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged

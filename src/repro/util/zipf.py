@@ -1,0 +1,125 @@
+"""Zipf-distributed sampling used by the corpus and workload generators.
+
+Term frequencies in natural-language collections and query popularities in
+real query logs are both well modelled by power laws; AlvisP2P's companion
+papers (HDK, ICDE'07; QDI, SIGIR'07) rely on exactly these properties, so the
+synthetic substitutes must reproduce them.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+from typing import Iterator, List, Sequence
+
+__all__ = ["zipf_weights", "ZipfSampler"]
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    """Return normalized Zipf weights ``w_i ~ 1 / (i+1)^exponent``.
+
+    >>> ws = zipf_weights(3, 1.0)
+    >>> round(sum(ws), 10)
+    1.0
+    >>> ws[0] > ws[1] > ws[2]
+    True
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    raw = [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class ZipfSampler:
+    """Sample ranks ``0..n-1`` with probability proportional to a power law.
+
+    Sampling is O(log n) via binary search over the cumulative distribution.
+    The sampler owns no RNG: callers pass a :class:`random.Random`, keeping
+    stream ownership explicit.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0):
+        self._weights = zipf_weights(n, exponent)
+        self._cdf = list(itertools.accumulate(self._weights))
+        # Guard against floating-point drift: force the last CDF entry to 1.
+        self._cdf[-1] = 1.0
+        self.n = n
+        self.exponent = exponent
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank."""
+        return bisect.bisect_left(self._cdf, rng.random())
+
+    def sample_many(self, rng: random.Random, count: int) -> List[int]:
+        """Draw ``count`` independent ranks."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return [self.sample(rng) for _ in range(count)]
+
+    def sample_distinct(self, rng: random.Random, count: int,
+                        max_attempts_factor: int = 50) -> List[int]:
+        """Draw ``count`` *distinct* ranks (rejection sampling).
+
+        Falls back to filling with the lowest-probability unused ranks if
+        rejection sampling stalls, so the call always succeeds for
+        ``count <= n``.
+        """
+        if count > self.n:
+            raise ValueError(
+                f"cannot draw {count} distinct ranks from support of {self.n}")
+        seen: set = set()
+        result: List[int] = []
+        attempts = 0
+        limit = max(1, count) * max_attempts_factor
+        while len(result) < count and attempts < limit:
+            rank = self.sample(rng)
+            attempts += 1
+            if rank not in seen:
+                seen.add(rank)
+                result.append(rank)
+        if len(result) < count:
+            for rank in range(self.n - 1, -1, -1):
+                if rank not in seen:
+                    seen.add(rank)
+                    result.append(rank)
+                    if len(result) == count:
+                        break
+        return result
+
+    def probability(self, rank: int) -> float:
+        """Return the probability mass of ``rank``."""
+        return self._weights[rank]
+
+    def stream(self, rng: random.Random) -> Iterator[int]:
+        """Yield an unbounded stream of samples."""
+        while True:
+            yield self.sample(rng)
+
+    def expected_frequency(self, rank: int, draws: int) -> float:
+        """Expected number of occurrences of ``rank`` over ``draws`` draws."""
+        return self.probability(rank) * draws
+
+    @staticmethod
+    def fit_exponent(frequencies: Sequence[int]) -> float:
+        """Crude MLE-style estimate of the Zipf exponent from rank frequencies.
+
+        Uses a log-log least-squares fit over the sorted frequencies; good
+        enough for sanity-checking generated corpora in tests.
+        """
+        ranked = sorted((f for f in frequencies if f > 0), reverse=True)
+        if len(ranked) < 2:
+            raise ValueError("need at least two non-zero frequencies")
+        xs = [math.log(rank) for rank in range(1, len(ranked) + 1)]
+        ys = [math.log(freq) for freq in ranked]
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        var = sum((x - mean_x) ** 2 for x in xs)
+        slope = cov / var
+        return -slope

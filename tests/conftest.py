@@ -1,0 +1,71 @@
+"""Shared fixtures.
+
+Networks are expensive to build (statistics phase + index construction),
+so the fully built ones are module-scoped; tests must not mutate them
+destructively (tests that need mutation build their own small network).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AlvisConfig
+from repro.core.network import AlvisNetwork
+from repro.corpus.loader import sample_documents
+from repro.corpus.queries import QueryWorkload, QueryWorkloadConfig
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.ir.analysis import Analyzer
+
+
+@pytest.fixture(scope="session")
+def analyzer() -> Analyzer:
+    return Analyzer()
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> SyntheticCorpus:
+    """120 documents, 800-word vocabulary — enough for HDK expansion."""
+    return SyntheticCorpus(SyntheticCorpusConfig(
+        num_documents=120, vocabulary_size=800, num_topics=6, seed=3))
+
+
+@pytest.fixture(scope="session")
+def small_corpus_documents(small_corpus):
+    return small_corpus.documents()
+
+
+@pytest.fixture(scope="session")
+def small_workload(small_corpus) -> QueryWorkload:
+    return QueryWorkload.from_corpus(
+        small_corpus, QueryWorkloadConfig(pool_size=40, seed=5))
+
+
+@pytest.fixture(scope="module")
+def hdk_network(small_corpus) -> AlvisNetwork:
+    """A 10-peer network with a built HDK index over the small corpus."""
+    network = AlvisNetwork(num_peers=10, config=AlvisConfig(), seed=2)
+    network.distribute_documents(small_corpus.documents())
+    network.build_index(mode="hdk")
+    return network
+
+
+@pytest.fixture(scope="module")
+def qdi_network(small_corpus) -> AlvisNetwork:
+    """A 10-peer network in QDI mode (single-term base, managers on)."""
+    config = AlvisConfig(qdi_activation_threshold=2)
+    network = AlvisNetwork(num_peers=10, config=config, seed=2)
+    network.distribute_documents(small_corpus.documents())
+    network.build_index(mode="qdi")
+    return network
+
+
+@pytest.fixture()
+def tiny_network() -> AlvisNetwork:
+    """A fresh 6-peer network over the built-in sample documents.
+
+    Function-scoped: safe to mutate (churn, incremental publishing...).
+    """
+    network = AlvisNetwork(num_peers=6, seed=4)
+    network.distribute_documents(sample_documents())
+    network.build_index(mode="hdk")
+    return network

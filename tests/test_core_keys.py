@@ -1,0 +1,103 @@
+"""Tests for Key and the query-lattice structure."""
+
+import pytest
+
+from repro.core.keys import Key
+from repro.dht.hashing import hash_terms
+
+
+class TestKeyConstruction:
+    def test_canonicalizes_order(self):
+        assert Key(["b", "a"]).terms == ("a", "b")
+        assert Key(["b", "a"]) == Key(["a", "b"])
+
+    def test_deduplicates(self):
+        assert Key(["a", "a", "b"]).terms == ("a", "b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Key([])
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(ValueError):
+            Key(["a", ""])
+
+    def test_immutable(self):
+        key = Key(["a"])
+        with pytest.raises(AttributeError):
+            key.terms = ("b",)
+
+    def test_hashable_and_equal(self):
+        assert hash(Key(["a", "b"])) == hash(Key(["b", "a"]))
+        assert len({Key(["a", "b"]), Key(["b", "a"])}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Key(["a"]) != ("a",)
+
+    def test_len_and_iter(self):
+        key = Key(["c", "a", "b"])
+        assert len(key) == 3
+        assert list(key) == ["a", "b", "c"]
+
+    def test_key_id_matches_hash_terms(self):
+        key = Key(["x", "y"])
+        assert key.key_id == hash_terms(["y", "x"])
+
+    def test_wire_size_grows_with_terms(self):
+        assert Key(["a", "b"]).wire_size() > Key(["a"]).wire_size()
+
+
+class TestKeyAlgebra:
+    def test_contains(self):
+        assert Key(["a", "b", "c"]).contains(Key(["a", "c"]))
+        assert Key(["a", "b"]).contains(Key(["a", "b"]))
+        assert not Key(["a", "b"]).contains(Key(["c"]))
+
+    def test_dominates_strict(self):
+        assert Key(["a", "b"]).dominates(Key(["a"]))
+        assert not Key(["a", "b"]).dominates(Key(["a", "b"]))
+        assert not Key(["a"]).dominates(Key(["a", "b"]))
+
+    def test_disjoint(self):
+        assert Key(["a", "b"]).is_disjoint(Key(["c"]))
+        assert not Key(["a", "b"]).is_disjoint(Key(["b", "c"]))
+
+    def test_extend(self):
+        assert Key(["a"]).extend("b") == Key(["a", "b"])
+
+    def test_extend_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            Key(["a"]).extend("a")
+
+    def test_subsets_of_size(self):
+        key = Key(["a", "b", "c"])
+        assert set(key.subsets(2)) == {Key(["a", "b"]), Key(["a", "c"]),
+                                       Key(["b", "c"])}
+        assert key.subsets(3) == [key]
+        assert key.subsets(0) == []
+        assert key.subsets(4) == []
+
+    def test_proper_subsets_largest_first(self):
+        subsets = Key(["a", "b", "c"]).proper_subsets()
+        assert len(subsets) == 6
+        assert all(len(k) == 2 for k in subsets[:3])
+        assert all(len(k) == 1 for k in subsets[3:])
+
+    def test_proper_subsets_of_singleton(self):
+        assert Key(["a"]).proper_subsets() == []
+
+
+class TestLatticeLevels:
+    def test_figure_one_shape(self):
+        # Figure 1 of the paper: {a,b,c} -> 1 + 3 + 3 nodes.
+        levels = Key.lattice_levels(["a", "b", "c"])
+        assert [len(level) for level in levels] == [1, 3, 3]
+        assert levels[0] == [Key(["a", "b", "c"])]
+
+    def test_single_term_query(self):
+        levels = Key.lattice_levels(["a"])
+        assert levels == [[Key(["a"])]]
+
+    def test_total_nodes_is_power_of_two_minus_one(self):
+        levels = Key.lattice_levels(["a", "b", "c", "d"])
+        assert sum(len(level) for level in levels) == 15

@@ -1,0 +1,122 @@
+"""Tests for index-fragment persistence."""
+
+import json
+
+import pytest
+
+from repro.core.global_index import GlobalIndexFragment, KeyEntry
+from repro.core.keys import Key
+from repro.core.network import AlvisNetwork
+from repro.core.persistence import (
+    entry_from_dict,
+    entry_to_dict,
+    fragment_from_dict,
+    fragment_to_dict,
+    load_fragment,
+    load_network_index,
+    save_fragment,
+    save_network_index,
+)
+from repro.corpus.loader import sample_documents
+from repro.ir.postings import Posting, PostingList
+
+
+def _entry():
+    return KeyEntry(
+        key=Key(["alpha", "beta"]),
+        postings=PostingList([Posting(1, 2.5), Posting(2, 1.0)],
+                             global_df=7),
+        global_df=7,
+        contributors={11: 4, 22: 3},
+        popularity=1.5,
+        on_demand=True,
+    )
+
+
+class TestEntryRoundtrip:
+    def test_roundtrip_preserves_fields(self):
+        original = _entry()
+        restored = entry_from_dict(entry_to_dict(original))
+        assert restored.key == original.key
+        assert restored.postings.doc_ids() == original.postings.doc_ids()
+        assert restored.postings.global_df == 7
+        assert restored.postings.truncated
+        assert restored.global_df == 7
+        assert restored.contributors == {11: 4, 22: 3}
+        assert restored.popularity == 1.5
+        assert restored.on_demand
+
+    def test_dict_is_json_safe(self):
+        json.dumps(entry_to_dict(_entry()))
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            entry_from_dict({"key": ["a"]})
+
+
+class TestFragmentRoundtrip:
+    def test_roundtrip(self):
+        fragment = GlobalIndexFragment(truncation_k=5)
+        fragment.install(_entry())
+        fragment.publish(Key(["gamma"]),
+                         PostingList([Posting(3, 0.5)]), 1,
+                         contributor=9)
+        restored = fragment_from_dict(fragment_to_dict(fragment))
+        assert restored.truncation_k == 5
+        assert len(restored) == 2
+        assert restored.get(Key(["alpha", "beta"])) is not None
+        assert restored.get(Key(["gamma"])).contributors == {9: 1}
+
+    def test_unknown_version_rejected(self):
+        data = fragment_to_dict(GlobalIndexFragment(truncation_k=5))
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            fragment_from_dict(data)
+
+    def test_file_roundtrip(self, tmp_path):
+        fragment = GlobalIndexFragment(truncation_k=5)
+        fragment.install(_entry())
+        path = str(tmp_path / "fragment.json")
+        save_fragment(fragment, path)
+        restored = load_fragment(path)
+        assert len(restored) == 1
+
+
+class TestNetworkIndexRoundtrip:
+    def test_save_restore_preserves_query_results(self, tmp_path):
+        network = AlvisNetwork(num_peers=5, seed=81)
+        network.distribute_documents(sample_documents())
+        network.build_index(mode="hdk")
+        origin = network.peer_ids()[0]
+        baseline, _ = network.query(origin, "document digest")
+        path = str(tmp_path / "index.json")
+        save_network_index(network, path)
+        # Simulate restart: wipe every fragment, then restore.
+        for peer in network.peers():
+            peer.fragment = GlobalIndexFragment(
+                network.config.truncation_k)
+        empty, _ = network.query(origin, "document digest")
+        assert empty == []
+        restored = load_network_index(network, path)
+        assert restored == 5
+        assert network.mode == "hdk"
+        after, _ = network.query(origin, "document digest")
+        assert [doc.doc_id for doc in after] == \
+            [doc.doc_id for doc in baseline]
+
+    def test_departed_peers_skipped(self, tmp_path):
+        network = AlvisNetwork(num_peers=5, seed=82)
+        network.distribute_documents(sample_documents())
+        network.build_index(mode="hdk")
+        path = str(tmp_path / "index.json")
+        save_network_index(network, path)
+        network.fail_peer(network.peer_ids()[0])
+        restored = load_network_index(network, path)
+        assert restored == 4
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "fragments": {}}))
+        network = AlvisNetwork(num_peers=2, seed=83)
+        with pytest.raises(ValueError):
+            load_network_index(network, str(path))

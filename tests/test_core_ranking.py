@@ -1,0 +1,101 @@
+"""Tests for result merging and the greedy disjoint-cover ranking."""
+
+import pytest
+
+from repro.core.keys import Key
+from repro.core.ranking import merge_and_rank
+from repro.ir.postings import Posting, PostingList
+
+
+def _lists(mapping):
+    return {key: PostingList(postings)
+            for key, postings in mapping.items()}
+
+
+class TestMergeAndRank:
+    def test_paper_example_bc_plus_a(self):
+        """Query abc answered from keys bc and a: a document in both gets
+        score(bc) + score(a) — the exact decomposition of Figure 1."""
+        retrieved = _lists({
+            Key(["b", "c"]): [Posting(1, 2.0), Posting(2, 1.5)],
+            Key(["a"]): [Posting(1, 0.7), Posting(3, 0.4)],
+        })
+        ranked = merge_and_rank(retrieved, Key(["a", "b", "c"]), k=10)
+        scores = {doc.doc_id: doc.score for doc in ranked}
+        assert scores[1] == pytest.approx(2.7)
+        assert scores[2] == pytest.approx(1.5)
+        assert scores[3] == pytest.approx(0.4)
+        assert [doc.doc_id for doc in ranked] == [1, 2, 3]
+
+    def test_overlapping_keys_not_double_counted(self):
+        # Keys ab and b overlap on term b: only the better one counts.
+        retrieved = _lists({
+            Key(["a", "b"]): [Posting(1, 3.0)],
+            Key(["b"]): [Posting(1, 1.0)],
+        })
+        ranked = merge_and_rank(retrieved, Key(["a", "b"]), k=10)
+        assert ranked[0].score == pytest.approx(3.0)
+        assert ranked[0].covering_keys == (Key(["a", "b"]),)
+
+    def test_disjoint_singles_sum(self):
+        retrieved = _lists({
+            Key(["a"]): [Posting(1, 1.0)],
+            Key(["b"]): [Posting(1, 2.0)],
+            Key(["c"]): [Posting(1, 0.5)],
+        })
+        ranked = merge_and_rank(retrieved, Key(["a", "b", "c"]), k=10)
+        assert ranked[0].score == pytest.approx(3.5)
+        assert set(ranked[0].covering_keys) == {Key(["a"]), Key(["b"]),
+                                                Key(["c"])}
+
+    def test_greedy_prefers_high_score_key(self):
+        # ab scores 5; a and b score 1 each: greedy takes ab (5 > 2).
+        retrieved = _lists({
+            Key(["a", "b"]): [Posting(1, 5.0)],
+            Key(["a"]): [Posting(1, 1.0)],
+            Key(["b"]): [Posting(1, 1.0)],
+        })
+        ranked = merge_and_rank(retrieved, Key(["a", "b"]), k=10)
+        assert ranked[0].score == pytest.approx(5.0)
+
+    def test_k_limits_results(self):
+        retrieved = _lists({
+            Key(["a"]): [Posting(index, float(10 - index))
+                         for index in range(10)],
+        })
+        ranked = merge_and_rank(retrieved, Key(["a"]), k=3)
+        assert len(ranked) == 3
+        assert [doc.doc_id for doc in ranked] == [0, 1, 2]
+
+    def test_tie_broken_by_doc_id(self):
+        retrieved = _lists({
+            Key(["a"]): [Posting(5, 1.0), Posting(2, 1.0)],
+        })
+        ranked = merge_and_rank(retrieved, Key(["a"]), k=10)
+        assert [doc.doc_id for doc in ranked] == [2, 5]
+
+    def test_empty_retrieval(self):
+        assert merge_and_rank({}, Key(["a"]), k=5) == []
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            merge_and_rank({}, Key(["a"]), k=0)
+
+    def test_terms_covered_property(self):
+        retrieved = _lists({
+            Key(["a", "b"]): [Posting(1, 2.0)],
+            Key(["c"]): [Posting(1, 1.0)],
+        })
+        ranked = merge_and_rank(retrieved, Key(["a", "b", "c"]), k=1)
+        assert ranked[0].terms_covered == frozenset({"a", "b", "c"})
+
+    def test_deterministic_across_dict_orders(self):
+        lists_a = _lists({
+            Key(["a"]): [Posting(1, 1.0)],
+            Key(["b"]): [Posting(1, 1.0)],
+        })
+        lists_b = dict(reversed(list(lists_a.items())))
+        ranked_a = merge_and_rank(lists_a, Key(["a", "b"]), k=5)
+        ranked_b = merge_and_rank(lists_b, Key(["a", "b"]), k=5)
+        assert [(doc.doc_id, doc.score) for doc in ranked_a] == \
+            [(doc.doc_id, doc.score) for doc in ranked_b]

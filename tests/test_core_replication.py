@@ -1,0 +1,165 @@
+"""Tests for index replication and crash repair."""
+
+import pytest
+
+from repro.core.network import AlvisNetwork
+from repro.core.replication import ReplicationManager
+from repro.corpus.loader import sample_documents
+
+
+def _network(num_peers=8, seed=51):
+    network = AlvisNetwork(num_peers=num_peers, seed=seed)
+    network.distribute_documents(sample_documents())
+    network.build_index(mode="hdk")
+    return network
+
+
+class TestReplicaPlacement:
+    def test_replicate_all_pushes_to_successors(self):
+        network = _network()
+        manager = ReplicationManager(network, replication_factor=2)
+        pushes = manager.replicate_all()
+        assert pushes > 0
+        counts = manager.replica_counts()
+        assert sum(counts.values()) > 0
+        # Every peer with primaries must have replicas elsewhere.
+        for peer in network.peers():
+            primaries = [entry for entry in peer.fragment
+                         if entry.postings or entry.contributors]
+            if not primaries:
+                continue
+            replicated = 0
+            for other in network.peers():
+                if other.peer_id == peer.peer_id:
+                    continue
+                replicated += sum(
+                    1 for entry in primaries
+                    if entry.key in other.replica_store)
+            assert replicated >= len(primaries)  # at least one copy each
+
+    def test_replication_traffic_accounted(self):
+        network = _network()
+        network.reset_traffic()
+        ReplicationManager(network, replication_factor=1).replicate_all()
+        assert network.bytes_by_kind().get("ReplicaPush", 0) > 0
+
+    def test_idempotent(self):
+        network = _network()
+        manager = ReplicationManager(network, replication_factor=1)
+        manager.replicate_all()
+        first = manager.replica_counts()
+        manager.replicate_all()
+        assert manager.replica_counts() == first
+
+    def test_invalid_factor_rejected(self):
+        network = _network(num_peers=3)
+        with pytest.raises(ValueError):
+            ReplicationManager(network, replication_factor=0)
+
+    def test_singleton_network_no_replicas(self):
+        network = AlvisNetwork(num_peers=1, seed=5)
+        network.distribute_documents(sample_documents())
+        network.build_index(mode="hdk")
+        manager = ReplicationManager(network)
+        assert manager.replicate_all() == 0
+
+
+class TestCrashAndRepair:
+    def test_fail_peer_removes_it(self):
+        network = _network()
+        victim = network.peer_ids()[0]
+        network.fail_peer(victim)
+        assert victim not in network.peer_ids()
+        assert not network.transport.is_registered(victim)
+        assert not network.ring.contains(victim)
+
+    def test_fail_unknown_rejected(self):
+        network = _network(num_peers=3)
+        with pytest.raises(KeyError):
+            network.fail_peer(12345)
+
+    def test_cannot_crash_last_peer(self):
+        network = AlvisNetwork(num_peers=1, seed=5)
+        with pytest.raises(ValueError):
+            network.fail_peer(network.peer_ids()[0])
+
+    def test_crash_without_replication_loses_keys(self):
+        network = _network()
+        keys_before = network.total_keys()
+        victim = max(network.peers(),
+                     key=lambda peer: len(peer.fragment)).peer_id
+        network.fail_peer(victim)
+        assert network.total_keys() < keys_before
+
+    def test_repair_promotes_replicas(self):
+        network = _network()
+        manager = ReplicationManager(network, replication_factor=2)
+        manager.replicate_all()
+        victim = max(network.peers(),
+                     key=lambda peer: len(peer.fragment))
+        lost_keys = [entry.key for entry in victim.fragment
+                     if entry.postings or entry.contributors]
+        network.fail_peer(victim.peer_id)
+        promoted = manager.repair()
+        assert promoted >= len(lost_keys) * 9 // 10
+        # Every lost key is primary at its new owner.
+        recovered = 0
+        for key in lost_keys:
+            owner = network.ring.successor_of(key.key_id)
+            if network.peer(owner).fragment.get(key) is not None:
+                recovered += 1
+        assert recovered == len(lost_keys)
+
+    def test_queries_survive_crash_with_replication(self):
+        network = _network()
+        manager = ReplicationManager(network, replication_factor=2)
+        manager.replicate_all()
+        origin = network.peer_ids()[0]
+        baseline, _ = network.query(origin, "query lattice exploration")
+        baseline_ids = [doc.doc_id for doc in baseline]
+        assert baseline_ids
+        # Crash the peer holding the most index state (but keep the
+        # query origin and all document owners alive).
+        doc_owners = {network.doc_owner(doc_id)
+                      for doc_id in baseline_ids}
+        candidates = [peer for peer in network.peers()
+                      if peer.peer_id != origin
+                      and peer.peer_id not in doc_owners]
+        victim = max(candidates, key=lambda peer: len(peer.fragment))
+        network.fail_peer(victim.peer_id)
+        manager.repair()
+        after, _ = network.query(origin, "query lattice exploration")
+        assert [doc.doc_id for doc in after] == baseline_ids
+
+    def test_repair_restores_replication_factor(self):
+        network = _network()
+        manager = ReplicationManager(network, replication_factor=2)
+        manager.replicate_all()
+        victim = network.peer_ids()[3]
+        network.fail_peer(victim)
+        manager.repair()
+        # Promoted entries must be replicated again: for each promoted
+        # key, at least one other peer holds a replica.
+        for peer in network.peers():
+            for entry in peer.fragment:
+                if not (entry.postings or entry.contributors):
+                    continue
+                holders = sum(
+                    1 for other in network.peers()
+                    if other.peer_id != peer.peer_id
+                    and entry.key in other.replica_store)
+                assert holders >= 1
+
+    def test_double_crash_with_factor_two(self):
+        network = _network(num_peers=10)
+        manager = ReplicationManager(network, replication_factor=2)
+        manager.replicate_all()
+        keys_before = network.total_keys()
+        # Crash two non-adjacent peers.
+        members = network.peer_ids()
+        network.fail_peer(members[1])
+        network.fail_peer(members[5])
+        manager.repair()
+        # All keys recovered (the two victims were not consecutive, so
+        # no key lost both its primary and every replica).
+        assert network.total_keys() >= keys_before - 2  # shadow slack

@@ -1,0 +1,80 @@
+"""Focused tests on the query trace's accounting guarantees."""
+
+import pytest
+
+from repro.core.lattice import ProbeStatus
+from repro.core.retrieval import QueryTrace
+from repro.core.keys import Key
+
+
+class TestTraceAccounting:
+    def test_bytes_by_kind_sums_to_bytes_sent(self, hdk_network,
+                                              small_workload):
+        origin = hdk_network.peer_ids()[0]
+        _results, trace = hdk_network.query(
+            origin, list(small_workload.pool[4]))
+        assert sum(trace.bytes_by_kind.values()) == trace.bytes_sent
+
+    def test_probe_kinds_present(self, hdk_network, small_workload):
+        origin = hdk_network.peer_ids()[0]
+        _results, trace = hdk_network.query(
+            origin, list(small_workload.pool[5]))
+        assert trace.bytes_by_kind.get("ProbeKey", 0) > 0
+        assert trace.bytes_by_kind.get("ProbeReply", 0) > 0
+        if trace.lookup_hops:
+            assert trace.bytes_by_kind.get("LookupHop", 0) > 0
+
+    def test_no_feedback_in_hdk_mode(self, hdk_network, small_workload):
+        origin = hdk_network.peer_ids()[0]
+        _results, trace = hdk_network.query(
+            origin, list(small_workload.pool[6]))
+        assert "PopularityFeedback" not in trace.bytes_by_kind
+
+    def test_feedback_in_qdi_mode(self, qdi_network, small_workload):
+        origin = qdi_network.peer_ids()[0]
+        # A multi-term query against the single-term base index misses
+        # its combinations -> feedback goes out.
+        query = list(small_workload.pool[7])
+        _results, trace = qdi_network.query(origin, query)
+        statuses = dict(trace.probes)
+        missing_multi = [key for key, status in statuses.items()
+                         if status == ProbeStatus.MISSING
+                         and len(key) > 1]
+        if missing_multi:
+            assert trace.bytes_by_kind.get("PopularityFeedback", 0) > 0
+
+    def test_summary_fields(self, hdk_network, small_workload):
+        origin = hdk_network.peer_ids()[0]
+        _results, trace = hdk_network.query(
+            origin, list(small_workload.pool[8]))
+        summary = trace.summary()
+        assert summary["terms"] == float(len(trace.query))
+        assert summary["probed"] == float(trace.probed_count)
+        assert summary["bytes"] == float(trace.bytes_sent)
+        assert summary["results"] == float(len(trace.results))
+
+    def test_probes_cover_full_lattice(self, hdk_network,
+                                       small_workload):
+        origin = hdk_network.peer_ids()[0]
+        query = list(small_workload.pool[9])
+        _results, trace = hdk_network.query(origin, query)
+        assert len(trace.probes) == 2 ** len(trace.query) - 1
+        assert trace.probed_count + trace.skipped_count == \
+            len(trace.probes)
+
+    def test_trace_query_is_canonical(self, hdk_network,
+                                      small_workload):
+        origin = hdk_network.peer_ids()[0]
+        terms = list(small_workload.pool[3])
+        _results, forward = hdk_network.query(origin, terms)
+        _results, backward = hdk_network.query(origin,
+                                               list(reversed(terms)))
+        assert forward.query == backward.query == Key(terms)
+
+
+class TestQueryTraceDataclass:
+    def test_empty_trace_counts(self):
+        trace = QueryTrace(query=Key(["a"]), origin=1)
+        assert trace.probed_count == 0
+        assert trace.skipped_count == 0
+        assert trace.summary()["probed"] == 0.0

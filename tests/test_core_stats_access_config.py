@@ -1,0 +1,172 @@
+"""Tests for global statistics, access control and configuration."""
+
+import pytest
+
+from repro.core.access import AccessControlError, AccessManager, AccessPolicy
+from repro.core.config import AlvisConfig
+from repro.core.global_stats import (
+    CollectionTotals,
+    GlobalStatsCache,
+    StatsStore,
+)
+
+
+class TestStatsStore:
+    def test_df_aggregation(self):
+        store = StatsStore()
+        store.fold_dfs({"a": 2, "b": 1})
+        store.fold_dfs({"a": 3})
+        assert store.df("a") == 5
+        assert store.df("b") == 1
+        assert store.df("missing") == 0
+
+    def test_dfs_batch(self):
+        store = StatsStore()
+        store.fold_dfs({"a": 2})
+        assert store.dfs(["a", "b"]) == {"a": 2, "b": 0}
+
+    def test_negative_deltas_floor_at_zero(self):
+        store = StatsStore()
+        store.fold_dfs({"a": 2})
+        store.fold_dfs({"a": -1})
+        assert store.df("a") == 1
+        store.fold_dfs({"a": -5})  # out-of-order deltas cannot go below 0
+        assert store.df("a") == 0
+
+    def test_collection_idempotent_per_peer(self):
+        store = StatsStore()
+        store.fold_collection(1, 10, 500)
+        store.fold_collection(2, 20, 900)
+        store.fold_collection(1, 12, 600)  # peer 1 re-reports
+        totals = store.collection_totals()
+        assert totals.num_documents == 32
+        assert totals.total_terms == 1500
+        assert totals.num_peers == 2
+
+    def test_terms_stored(self):
+        store = StatsStore()
+        store.fold_dfs({"a": 1, "b": 1})
+        assert store.terms_stored() == 2
+
+
+class TestCollectionTotals:
+    def test_average_length(self):
+        totals = CollectionTotals(num_documents=10, total_terms=500)
+        assert totals.average_document_length == 50.0
+
+    def test_empty_average(self):
+        assert CollectionTotals().average_document_length == 0.0
+
+    def test_fold_validation(self):
+        with pytest.raises(ValueError):
+            CollectionTotals().fold(-1, 5)
+
+
+class TestGlobalStatsCache:
+    def test_df_caching(self):
+        cache = GlobalStatsCache()
+        cache.store_dfs({"a": 5})
+        assert cache.df("a") == 5
+        assert cache.df("b") == 0
+        assert cache.has_df("a")
+        assert not cache.has_df("b")
+
+    def test_missing_terms(self):
+        cache = GlobalStatsCache()
+        cache.store_dfs({"a": 5})
+        assert cache.missing_terms(["a", "b", "c"]) == ["b", "c"]
+
+    def test_statistics_requires_totals(self):
+        cache = GlobalStatsCache()
+        with pytest.raises(RuntimeError):
+            cache.statistics()
+
+    def test_statistics_view(self):
+        cache = GlobalStatsCache()
+        cache.store_totals(CollectionTotals(num_documents=100,
+                                            total_terms=5000,
+                                            num_peers=4))
+        cache.store_dfs({"x": 9})
+        stats = cache.statistics()
+        assert stats.num_documents == 100
+        assert stats.average_document_length == 50.0
+        assert stats.df("x") == 9
+        assert stats.df("unknown") == 0
+
+
+class TestAccessPolicy:
+    def test_public_permits_everything(self):
+        policy = AccessPolicy.public()
+        assert policy.permits(None)
+        assert policy.permits(("user", "pass"))
+
+    def test_password_policy(self):
+        policy = AccessPolicy.password("alice", "secret")
+        assert policy.permits(("alice", "secret"))
+        assert not policy.permits(("alice", "wrong"))
+        assert not policy.permits(("bob", "secret"))
+        assert not policy.permits(None)
+
+    def test_no_plaintext_stored(self):
+        policy = AccessPolicy.password("alice", "secret")
+        assert "secret" not in (policy.credential_digest or "")
+
+    def test_empty_credentials_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPolicy.password("", "x")
+        with pytest.raises(ValueError):
+            AccessPolicy.password("x", "")
+
+
+class TestAccessManager:
+    def test_default_is_public(self):
+        manager = AccessManager()
+        manager.check(1)  # no policy set -> allowed
+
+    def test_protected_document(self):
+        manager = AccessManager()
+        manager.set_policy(1, AccessPolicy.password("u", "p"))
+        with pytest.raises(AccessControlError):
+            manager.check(1)
+        manager.check(1, ("u", "p"))
+
+    def test_remove_policy_reopens(self):
+        manager = AccessManager()
+        manager.set_policy(1, AccessPolicy.password("u", "p"))
+        manager.remove(1)
+        manager.check(1)
+
+
+class TestAlvisConfig:
+    def test_defaults_valid(self):
+        AlvisConfig()
+
+    @pytest.mark.parametrize("field,value", [
+        ("truncation_k", 0),
+        ("df_max", 0),
+        ("s_max", 0),
+        ("proximity_window", 0),
+        ("max_expansions_per_key", 0),
+        ("qdi_activation_threshold", 0),
+        ("qdi_decay", 0.0),
+        ("qdi_decay", 1.5),
+        ("qdi_eviction_threshold", -1.0),
+        ("qdi_maintenance_interval", 0),
+        ("qdi_harvest_fanout", 0),
+        ("result_k", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            AlvisConfig(**{field: value})
+
+    def test_frozen(self):
+        config = AlvisConfig()
+        with pytest.raises(Exception):
+            config.truncation_k = 5
+
+    def test_with_overrides(self):
+        config = AlvisConfig()
+        swept = config.with_overrides(truncation_k=99, df_max=7)
+        assert swept.truncation_k == 99
+        assert swept.df_max == 7
+        assert config.truncation_k == 20  # original untouched

@@ -1,0 +1,105 @@
+"""Tests for virtual-node load balancing."""
+
+import pytest
+
+from repro.core.network import AlvisNetwork
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.util.stats import gini_coefficient
+
+
+def _network(virtual_nodes, num_peers=8, seed=141):
+    corpus = SyntheticCorpus(SyntheticCorpusConfig(
+        num_documents=80, vocabulary_size=600, seed=142))
+    network = AlvisNetwork(num_peers=num_peers, seed=seed,
+                           virtual_nodes=virtual_nodes)
+    network.distribute_documents(corpus.documents())
+    network.build_index(mode="hdk")
+    return network
+
+
+class TestTopology:
+    def test_ring_has_virtual_positions(self):
+        network = _network(virtual_nodes=4)
+        assert network.num_peers == 8
+        assert network.ring.size == 32
+
+    def test_default_is_one_position_per_peer(self):
+        network = AlvisNetwork(num_peers=5, seed=143)
+        assert network.ring.size == 5
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            AlvisNetwork(num_peers=2, virtual_nodes=0)
+
+    def test_virtual_positions_map_to_peers(self):
+        network = _network(virtual_nodes=4)
+        for node_id in network.ring.member_ids:
+            peer_id = network.peer_of_ring_node(node_id)
+            assert peer_id in network.peer_ids()
+
+    def test_churn_and_crash_guarded(self):
+        network = _network(virtual_nodes=2)
+        with pytest.raises(NotImplementedError):
+            network.churn()
+        with pytest.raises(NotImplementedError):
+            network.fail_peer(network.peer_ids()[0])
+
+
+class TestCorrectness:
+    def test_keys_stored_at_owning_peer(self):
+        network = _network(virtual_nodes=4)
+        for peer in network.peers():
+            for entry in peer.fragment:
+                assert network.owner_peer_of_key(
+                    entry.key.key_id) == peer.peer_id
+
+    def test_query_results_unaffected(self):
+        plain = _network(virtual_nodes=1)
+        virtual = _network(virtual_nodes=4)
+        queries = [["bax", "bex"], ["dax"], ["gox", "bax"]]
+        for query in queries:
+            try:
+                plain_results, _ = plain.query(plain.peer_ids()[0],
+                                               query)
+            except ValueError:
+                continue
+            virtual_results, _ = virtual.query(virtual.peer_ids()[0],
+                                               query)
+            assert [doc.doc_id for doc in plain_results] == \
+                [doc.doc_id for doc in virtual_results]
+
+    def test_workload_results_identical(self):
+        from repro.corpus.queries import QueryWorkload, \
+            QueryWorkloadConfig
+        corpus = SyntheticCorpus(SyntheticCorpusConfig(
+            num_documents=80, vocabulary_size=600, seed=142))
+        workload = QueryWorkload.from_corpus(
+            corpus, QueryWorkloadConfig(pool_size=10, seed=144))
+        plain = _network(virtual_nodes=1)
+        virtual = _network(virtual_nodes=4)
+        for query in workload.pool:
+            plain_results, _ = plain.query(plain.peer_ids()[0],
+                                           list(query))
+            virtual_results, _ = virtual.query(virtual.peer_ids()[0],
+                                               list(query))
+            assert [doc.doc_id for doc in plain_results] == \
+                [doc.doc_id for doc in virtual_results]
+
+
+class TestBalance:
+    def test_virtual_nodes_improve_storage_balance(self):
+        plain = _network(virtual_nodes=1)
+        virtual = _network(virtual_nodes=8)
+        plain_gini = gini_coefficient(
+            list(plain.per_peer_index_storage().values()))
+        virtual_gini = gini_coefficient(
+            list(virtual.per_peer_index_storage().values()))
+        assert virtual_gini < plain_gini
+
+    def test_message_aggregation_covers_all_traffic(self):
+        network = _network(virtual_nodes=4)
+        network.transport.reset_load_counters()
+        network.query(network.peer_ids()[0], ["bax", "bex"])
+        per_peer = network.per_peer_messages_in()
+        assert sum(per_peer.values()) == \
+            sum(network.transport.msgs_in.values())

@@ -1,0 +1,204 @@
+"""Tests for the synthetic corpus, loader and query workloads."""
+
+import os
+
+import pytest
+
+from repro.corpus.loader import load_directory, sample_documents
+from repro.corpus.queries import QueryWorkload, QueryWorkloadConfig
+from repro.corpus.synthetic import (
+    SyntheticCorpus,
+    SyntheticCorpusConfig,
+    word_for_rank,
+)
+from repro.ir.analysis import Analyzer
+from repro.util.rng import make_rng
+from repro.util.zipf import ZipfSampler
+
+
+class TestWordForRank:
+    def test_injective_over_large_range(self):
+        words = {word_for_rank(rank) for rank in range(20000)}
+        assert len(words) == 20000
+
+    def test_deterministic(self):
+        assert word_for_rank(123) == word_for_rank(123)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            word_for_rank(-1)
+
+    def test_words_are_alphabetic(self):
+        for rank in (0, 1, 99, 5000):
+            assert word_for_rank(rank).isalpha()
+
+
+class TestSyntheticCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return SyntheticCorpus(SyntheticCorpusConfig(
+            num_documents=150, vocabulary_size=1000, num_topics=5,
+            seed=11))
+
+    def test_deterministic_documents(self, corpus):
+        again = SyntheticCorpus(corpus.config)
+        assert corpus.document_terms(7) == again.document_terms(7)
+
+    def test_order_independence(self, corpus):
+        # Generating doc 10 then 5 equals generating 5 then 10.
+        a = corpus.document_terms(10)
+        fresh = SyntheticCorpus(corpus.config)
+        fresh.document_terms(5)
+        assert fresh.document_terms(10) == a
+
+    def test_document_count(self, corpus):
+        assert len(corpus.documents()) == 150
+
+    def test_document_fields(self, corpus):
+        document = corpus.document(3)
+        assert document.doc_id == 3
+        assert document.text
+        assert document.title
+        assert document.url.startswith("synthetic://")
+
+    def test_out_of_range_rejected(self, corpus):
+        with pytest.raises(IndexError):
+            corpus.document_terms(150)
+
+    def test_lengths_vary(self, corpus):
+        lengths = {len(corpus.document_terms(index))
+                   for index in range(30)}
+        assert len(lengths) > 5
+
+    def test_unigram_distribution_is_zipfian(self, corpus):
+        counts = {}
+        for index in range(100):
+            for token in corpus.document_terms(index):
+                counts[token] = counts.get(token, 0) + 1
+        fitted = ZipfSampler.fit_exponent(list(counts.values()))
+        assert 0.4 < fitted < 1.6
+
+    def test_topics_induce_cooccurrence(self, corpus):
+        # Two top terms of the same topic should co-occur in documents of
+        # that topic far more often than chance.
+        topic = 0
+        top = corpus.topic_terms(topic, 2)
+        docs_with_both = 0
+        topic_docs = 0
+        for index in range(150):
+            if corpus.topic_of(index) != topic:
+                continue
+            topic_docs += 1
+            terms = set(corpus.document_terms(index))
+            if top[0] in terms and top[1] in terms:
+                docs_with_both += 1
+        assert topic_docs > 0
+        assert docs_with_both / topic_docs > 0.3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpusConfig(num_documents=0)
+        with pytest.raises(ValueError):
+            SyntheticCorpusConfig(vocabulary_size=1)
+        with pytest.raises(ValueError):
+            SyntheticCorpusConfig(topic_mix=1.5)
+        with pytest.raises(ValueError):
+            SyntheticCorpusConfig(vocabulary_size=100,
+                                  topic_vocabulary_size=200)
+
+
+class TestLoader:
+    def test_sample_documents(self):
+        docs = sample_documents()
+        assert len(docs) == 12
+        assert all(doc.text for doc in docs)
+        assert len({doc.doc_id for doc in docs}) == 12
+
+    def test_sample_documents_offset(self):
+        docs = sample_documents(start_doc_id=100, owner_peer=9)
+        assert docs[0].doc_id == 100
+        assert docs[0].owner_peer == 9
+
+    def test_load_directory(self, tmp_path):
+        (tmp_path / "a.txt").write_text("alpha document body")
+        (tmp_path / "b.md").write_text("beta document body")
+        (tmp_path / "ignored.bin").write_text("binary")
+        docs = load_directory(str(tmp_path), start_doc_id=5,
+                              base_url="http://peer:8080/shared")
+        assert [doc.title for doc in docs] == ["a.txt", "b.md"]
+        assert docs[0].doc_id == 5
+        assert docs[1].doc_id == 6
+        assert docs[0].url == "http://peer:8080/shared/a.txt"
+        assert "alpha" in docs[0].text
+
+    def test_load_directory_missing(self):
+        with pytest.raises(NotADirectoryError):
+            load_directory("/nonexistent/path/xyz")
+
+
+class TestQueryWorkload:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return SyntheticCorpus(SyntheticCorpusConfig(
+            num_documents=100, vocabulary_size=600, seed=13))
+
+    @pytest.fixture(scope="class")
+    def workload(self, corpus):
+        return QueryWorkload.from_corpus(
+            corpus, QueryWorkloadConfig(pool_size=50, seed=17))
+
+    def test_pool_size(self, workload):
+        assert len(workload.pool) == 50
+
+    def test_queries_are_answerable(self, corpus, workload):
+        # Every query's terms must co-occur in at least one document.
+        analyzer = Analyzer()
+        doc_term_sets = [set(analyzer.analyze(
+            " ".join(corpus.document_terms(index))))
+            for index in range(100)]
+        for query in workload.pool[:20]:
+            assert any(set(query) <= terms for terms in doc_term_sets)
+
+    def test_query_sizes_respect_config(self, workload):
+        for query in workload.pool:
+            assert 2 <= len(query) <= 3
+
+    def test_sampling_is_skewed(self, workload):
+        rng = make_rng(1, "sample")
+        counts = {}
+        for _ in range(3000):
+            query = workload.sample(rng)
+            counts[query] = counts.get(query, 0) + 1
+        most_common = max(counts.values())
+        assert most_common > 3000 / 50 * 3  # >3x uniform share
+
+    def test_drift_shifts_popularity(self, workload):
+        top_before = workload.most_popular(1, drift=0)[0]
+        top_after = workload.most_popular(1, drift=10)[0]
+        assert top_before != top_after
+
+    def test_stream_length(self, workload):
+        rng = make_rng(2, "stream")
+        queries = list(workload.stream(rng, 25))
+        assert len(queries) == 25
+
+    def test_stream_deterministic(self, workload):
+        first = list(workload.stream(make_rng(3, "s"), 10))
+        second = list(workload.stream(make_rng(3, "s"), 10))
+        assert first == second
+
+    def test_from_documents(self):
+        docs = sample_documents()
+        workload = QueryWorkload.from_documents(
+            docs, QueryWorkloadConfig(pool_size=10, seed=19))
+        assert len(workload.pool) == 10
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            QueryWorkload([], QueryWorkloadConfig())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            QueryWorkloadConfig(pool_size=0)
+        with pytest.raises(ValueError):
+            QueryWorkloadConfig(min_terms=3, max_terms=2)

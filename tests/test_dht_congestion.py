@@ -1,0 +1,170 @@
+"""Tests for the congestion-control model (experiment E8's machinery)."""
+
+import pytest
+
+from repro.dht.congestion import (
+    AimdSender,
+    CongestionConfig,
+    QueueingNode,
+    UncontrolledSender,
+)
+from repro.sim.events import Simulator
+
+
+def _setup(service_rate=100.0, queue_capacity=10):
+    simulator = Simulator()
+    config = CongestionConfig(service_rate=service_rate,
+                              queue_capacity=queue_capacity,
+                              network_delay=0.005)
+    node = QueueingNode(simulator, config)
+    return simulator, config, node
+
+
+class TestQueueingNode:
+    def test_single_request_completes(self):
+        simulator, _config, node = _setup()
+        done = []
+        node.offer(lambda: done.append(1), lambda: done.append("drop"))
+        simulator.run()
+        assert done == [1]
+        assert node.completed == 1
+        assert node.dropped == 0
+
+    def test_service_rate_paces_completions(self):
+        simulator, _config, node = _setup(service_rate=10.0)
+        finish_times = []
+        for _ in range(3):
+            node.offer(lambda: finish_times.append(simulator.now),
+                       lambda: None)
+        simulator.run()
+        assert finish_times == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_queue_overflow_drops(self):
+        simulator, _config, node = _setup(queue_capacity=2)
+        drops = []
+        completions = []
+        # The server is idle, so the first offer starts service and the
+        # queue holds the next two; the rest are dropped.
+        for index in range(6):
+            node.offer(lambda: completions.append(1),
+                       lambda index=index: drops.append(index))
+        assert node.dropped == 3
+        simulator.run()
+        assert len(completions) == 3
+        assert drops == [3, 4, 5]
+
+    def test_arrival_counter(self):
+        _simulator, _config, node = _setup()
+        for _ in range(4):
+            node.offer(lambda: None, lambda: None)
+        assert node.arrived == 4
+
+
+class TestUncontrolledSender:
+    def test_below_capacity_no_drops(self):
+        simulator, config, node = _setup(service_rate=200.0,
+                                         queue_capacity=50)
+        sender = UncontrolledSender(simulator, node, config,
+                                    offered_rate=100.0)
+        sender.start(duration=1.0)
+        simulator.run()
+        assert node.dropped == 0
+        assert sender.acked == sender.sent
+
+    def test_overload_causes_drops_and_retransmissions(self):
+        simulator, config, node = _setup(service_rate=50.0,
+                                         queue_capacity=5)
+        sender = UncontrolledSender(simulator, node, config,
+                                    offered_rate=500.0)
+        sender.start(duration=1.0)
+        simulator.run_until(3.0)
+        assert node.dropped > 0
+        assert sender.retransmissions > 0
+
+    def test_invalid_rate_rejected(self):
+        simulator, config, node = _setup()
+        with pytest.raises(ValueError):
+            UncontrolledSender(simulator, node, config, offered_rate=0)
+
+
+class TestAimdSender:
+    def test_workload_fully_delivered(self):
+        simulator, config, node = _setup(service_rate=100.0,
+                                         queue_capacity=8)
+        sender = AimdSender(simulator, node, config, workload=200)
+        finished = []
+        sender.start(on_finished=lambda: finished.append(simulator.now))
+        simulator.run()
+        assert sender.acked == 200
+        assert sender.pending == 0
+        assert sender.outstanding == 0
+        assert len(finished) == 1
+
+    def test_no_work_lost_despite_drops(self):
+        simulator, config, node = _setup(service_rate=30.0,
+                                         queue_capacity=2)
+        sender = AimdSender(simulator, node, config, workload=100)
+        sender.start()
+        simulator.run()
+        assert sender.acked == 100  # every drop was retried
+
+    def test_window_decreases_on_drop(self):
+        simulator, config, node = _setup(service_rate=20.0,
+                                         queue_capacity=1)
+        sender = AimdSender(simulator, node, config, workload=50)
+        sender.start()
+        simulator.run_until(0.2)
+        if sender.drops:
+            assert sender.window < config.max_window
+
+    def test_window_never_below_one(self):
+        simulator, config, node = _setup(service_rate=5.0,
+                                         queue_capacity=1)
+        sender = AimdSender(simulator, node, config, workload=60)
+        sender.start()
+        simulator.run()
+        assert sender.window >= 1.0
+        assert sender.acked == 60
+
+    def test_goodput_tracks_service_capacity(self):
+        # The controlled sender should keep the server busy: completion
+        # time ~ workload / service_rate.
+        simulator, config, node = _setup(service_rate=100.0,
+                                         queue_capacity=10)
+        sender = AimdSender(simulator, node, config, workload=300)
+        end = []
+        sender.start(on_finished=lambda: end.append(simulator.now))
+        simulator.run()
+        ideal = 300 / 100.0
+        assert end[0] < ideal * 1.5
+
+    def test_invalid_workload_rejected(self):
+        simulator, config, node = _setup()
+        with pytest.raises(ValueError):
+            AimdSender(simulator, node, config, workload=0)
+
+
+class TestCongestionCollapseContrast:
+    def test_aimd_beats_uncontrolled_under_overload(self):
+        """The E8 headline: under heavy overload, AIMD sustains goodput
+        while the open-loop sender collapses into retransmission churn."""
+        duration = 2.0
+        # Uncontrolled at 10x capacity.
+        sim_u, config_u, node_u = _setup(service_rate=50.0,
+                                         queue_capacity=5)
+        uncontrolled = UncontrolledSender(sim_u, node_u, config_u,
+                                          offered_rate=500.0)
+        uncontrolled.start(duration)
+        sim_u.run_until(duration)
+        uncontrolled_goodput = node_u.completed / duration
+        waste_ratio = node_u.dropped / max(1, node_u.arrived)
+        # AIMD with the same capacity and more than enough work.
+        sim_c, config_c, node_c = _setup(service_rate=50.0,
+                                         queue_capacity=5)
+        controlled = AimdSender(sim_c, node_c, config_c, workload=1000)
+        controlled.start()
+        sim_c.run_until(duration)
+        controlled_goodput = node_c.completed / duration
+        controlled_waste = node_c.dropped / max(1, node_c.arrived)
+        assert controlled_goodput >= 0.8 * 50.0
+        assert controlled_waste < waste_ratio

@@ -1,0 +1,104 @@
+"""Tests for the identifier space and key hashing."""
+
+import random
+
+import pytest
+
+from repro.dht.hashing import hash_string, hash_terms
+from repro.dht.idspace import (
+    ID_BITS,
+    ID_SPACE,
+    clockwise_distance,
+    in_interval,
+    random_id,
+)
+
+
+class TestClockwiseDistance:
+    def test_forward(self):
+        assert clockwise_distance(10, 15) == 5
+
+    def test_wrapping(self):
+        assert clockwise_distance(15, 10) == ID_SPACE - 5
+
+    def test_zero(self):
+        assert clockwise_distance(7, 7) == 0
+
+    def test_asymmetric(self):
+        a, b = 100, 200
+        assert clockwise_distance(a, b) + clockwise_distance(b, a) \
+            == ID_SPACE
+
+    def test_full_range(self):
+        assert clockwise_distance(0, ID_SPACE - 1) == ID_SPACE - 1
+
+
+class TestInInterval:
+    def test_simple_inside(self):
+        assert in_interval(5, 3, 8)
+
+    def test_left_end_exclusive(self):
+        assert not in_interval(3, 3, 8)
+
+    def test_right_end_inclusive_by_default(self):
+        assert in_interval(8, 3, 8)
+
+    def test_right_end_exclusive_option(self):
+        assert not in_interval(8, 3, 8, inclusive_right=False)
+
+    def test_outside(self):
+        assert not in_interval(9, 3, 8)
+
+    def test_wrapped_interval(self):
+        assert in_interval(1, 250, 10)
+        assert in_interval(255, 250, 10)
+        assert not in_interval(100, 250, 10)
+
+    def test_degenerate_interval_spans_ring(self):
+        assert in_interval(5, 3, 3)
+        assert in_interval(3, 3, 3)  # right end inclusive
+        assert not in_interval(3, 3, 3, inclusive_right=False)
+
+
+class TestRandomId:
+    def test_in_range(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            value = random_id(rng)
+            assert 0 <= value < ID_SPACE
+
+    def test_deterministic(self):
+        assert random_id(random.Random(7)) == random_id(random.Random(7))
+
+
+class TestHashing:
+    def test_hash_string_in_range(self):
+        for value in ("", "a", "hello world", "x" * 1000):
+            assert 0 <= hash_string(value) < ID_SPACE
+
+    def test_hash_string_deterministic(self):
+        assert hash_string("abc") == hash_string("abc")
+
+    def test_hash_string_spreads(self):
+        values = {hash_string(f"term-{index}") for index in range(1000)}
+        assert len(values) == 1000
+
+    def test_hash_terms_order_independent(self):
+        assert hash_terms(["b", "a"]) == hash_terms(["a", "b"])
+        assert hash_terms(["c", "a", "b"]) == hash_terms(["b", "c", "a"])
+
+    def test_hash_terms_distinct_combinations_differ(self):
+        assert hash_terms(["a"]) != hash_terms(["a", "b"])
+        assert hash_terms(["a", "b"]) != hash_terms(["a", "c"])
+
+    def test_hash_terms_no_separator_collision(self):
+        # ("ab",) must not collide with ("a", "b").
+        assert hash_terms(["ab"]) != hash_terms(["a", "b"])
+
+    def test_roughly_uniform(self):
+        # Bucket 4096 hashes into 16 bins; expect no pathological skew.
+        bins = [0] * 16
+        for index in range(4096):
+            bins[hash_string(f"k{index}") >> (ID_BITS - 4)] += 1
+        assert max(bins) < 2.0 * (4096 / 16)
+        assert min(bins) > 0.4 * (4096 / 16)

@@ -1,0 +1,246 @@
+"""Tests for finger construction, DHT nodes and ring lookups."""
+
+import random
+
+import pytest
+
+from repro.dht.idspace import ID_SPACE, random_id
+from repro.dht.node import DHTNode
+from repro.dht.ring import DHTRing
+from repro.dht.routing import (
+    HopSpaceFingers,
+    NaiveFingers,
+    skewed_ids,
+    uniform_ids,
+)
+
+
+def _build_ring(ids, strategy):
+    ring = DHTRing(strategy)
+    for node_id in ids:
+        ring.add_node(node_id)
+    ring.rebuild_tables()
+    return ring
+
+
+class TestIdGenerators:
+    def test_uniform_count_and_distinct(self):
+        ids = uniform_ids(random.Random(0), 100)
+        assert len(ids) == 100
+        assert len(set(ids)) == 100
+        assert ids == sorted(ids)
+
+    def test_uniform_invalid_count(self):
+        with pytest.raises(ValueError):
+            uniform_ids(random.Random(0), 0)
+
+    def test_skewed_cluster_present(self):
+        ids = skewed_ids(random.Random(1), 200, cluster_fraction=0.9,
+                         cluster_width=0.001)
+        assert len(ids) == 200
+        # Most ids must fall within a narrow arc: find the largest number
+        # of ids inside any window of 0.2% of the ring.
+        window = int(ID_SPACE * 0.002)
+        best = 0
+        for anchor in ids:
+            inside = sum(1 for other in ids
+                         if (other - anchor) % ID_SPACE < window)
+            best = max(best, inside)
+        assert best >= 150
+
+    def test_skewed_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            skewed_ids(rng, 10, cluster_fraction=1.5)
+        with pytest.raises(ValueError):
+            skewed_ids(rng, 10, cluster_width=0.0)
+        with pytest.raises(ValueError):
+            skewed_ids(rng, 0)
+
+
+class TestFingerConstruction:
+    def test_naive_includes_successor(self):
+        ids = uniform_ids(random.Random(2), 50)
+        fingers = NaiveFingers().build(ids[0], ids)
+        assert ids[1] in fingers
+
+    def test_hopspace_table_size_is_log_n(self):
+        ids = uniform_ids(random.Random(3), 128)
+        fingers = HopSpaceFingers().build(ids[0], ids)
+        assert len(fingers) == 7  # log2(128)
+
+    def test_hopspace_exact_rank_offsets(self):
+        rng = random.Random(4)
+        ids = sorted({rng.getrandbits(64) for _ in range(16)})
+        assert len(ids) == 16
+        fingers = HopSpaceFingers().build(ids[3], ids)
+        expected = [ids[(3 + offset) % 16] for offset in (1, 2, 4, 8)]
+        assert fingers == expected
+
+    def test_no_self_loops_or_duplicates(self):
+        ids = uniform_ids(random.Random(5), 64)
+        for strategy in (NaiveFingers(), HopSpaceFingers()):
+            for node_id in ids[:10]:
+                fingers = strategy.build(node_id, ids)
+                assert node_id not in fingers
+                assert len(fingers) == len(set(fingers))
+
+    def test_empty_membership_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveFingers().build(1, [])
+        with pytest.raises(ValueError):
+            HopSpaceFingers().build(1, [])
+
+    def test_hopspace_requires_membership(self):
+        ids = uniform_ids(random.Random(6), 8)
+        with pytest.raises(ValueError):
+            HopSpaceFingers().build(12345, ids)  # not a member
+
+    def test_singleton_ring(self):
+        assert NaiveFingers().build(5, [5]) == []
+        assert HopSpaceFingers().build(5, [5]) == []
+
+
+class TestDHTNode:
+    def test_owns_interval(self):
+        node = DHTNode(100)
+        assert node.owns(100, 50)
+        assert node.owns(51, 50)
+        assert not node.owns(50, 50)
+        assert not node.owns(101, 50)
+
+    def test_owns_singleton(self):
+        node = DHTNode(100)
+        assert node.owns(7, 100)  # own predecessor -> owns everything
+
+    def test_next_hop_never_overshoots(self):
+        rng = random.Random(7)
+        ids = uniform_ids(rng, 64)
+        strategy = NaiveFingers()
+        node = DHTNode(ids[0])
+        node.set_fingers(strategy.build(ids[0], ids))
+        node.set_successors(ids[1:5])
+        for _ in range(100):
+            key = random_id(rng)
+            hop = node.next_hop(key)
+            if hop is None:
+                continue
+            from repro.dht.idspace import clockwise_distance
+            assert clockwise_distance(ids[0], hop) <= \
+                clockwise_distance(ids[0], key)
+
+    def test_routing_table_size_dedupes(self):
+        node = DHTNode(1)
+        node.set_fingers([2, 3, 4])
+        node.set_successors([2, 5])
+        assert node.routing_table_size() == 4
+
+
+class TestRingLookup:
+    @pytest.mark.parametrize("strategy", [NaiveFingers(),
+                                          HopSpaceFingers()])
+    def test_lookup_finds_true_owner(self, strategy):
+        ids = uniform_ids(random.Random(8), 100)
+        ring = _build_ring(ids, strategy)
+        rng = random.Random(9)
+        for _ in range(200):
+            key = random_id(rng)
+            source = rng.choice(ids)
+            result = ring.lookup(source, key)
+            assert result.owner == ring.successor_of(key)
+
+    def test_hopspace_hops_bounded_by_log_n(self):
+        ids = uniform_ids(random.Random(10), 256)
+        ring = _build_ring(ids, HopSpaceFingers())
+        rng = random.Random(11)
+        for _ in range(200):
+            result = ring.lookup(rng.choice(ids), random_id(rng))
+            assert result.hops <= 8  # ceil(log2 256)
+
+    def test_hopspace_hops_bounded_under_skew(self):
+        ids = skewed_ids(random.Random(12), 256, cluster_fraction=0.95,
+                         cluster_width=1e-9)
+        ring = _build_ring(ids, HopSpaceFingers())
+        rng = random.Random(13)
+        for _ in range(200):
+            # Route to other peers' ids: the worst case under skew.
+            result = ring.lookup(rng.choice(ids), rng.choice(ids))
+            assert result.hops <= 8
+
+    def test_lookup_from_owner_is_zero_hops(self):
+        ids = uniform_ids(random.Random(14), 20)
+        ring = _build_ring(ids, HopSpaceFingers())
+        key = 12345
+        owner = ring.successor_of(key)
+        assert ring.lookup(owner, key).hops == 0
+
+    def test_path_starts_at_source_ends_at_owner(self):
+        ids = uniform_ids(random.Random(15), 50)
+        ring = _build_ring(ids, HopSpaceFingers())
+        result = ring.lookup(ids[0], 999)
+        assert result.path[0] == ids[0]
+        assert result.path[-1] == result.owner
+        assert len(result.path) == result.hops + 1
+
+    def test_singleton_ring_owns_everything(self):
+        ring = _build_ring([42], HopSpaceFingers())
+        result = ring.lookup(42, 7)
+        assert result.owner == 42
+        assert result.hops == 0
+
+    def test_two_node_ring(self):
+        ring = _build_ring([100, 2 ** 60], NaiveFingers())
+        assert ring.lookup(100, 101).owner == 2 ** 60
+        assert ring.lookup(2 ** 60, 50).owner == 100
+
+    def test_unknown_source_rejected(self):
+        ring = _build_ring([1, 2, 3], NaiveFingers())
+        with pytest.raises(KeyError):
+            ring.lookup(99, 5)
+
+
+class TestRingMembership:
+    def test_add_remove(self):
+        ring = DHTRing()
+        ring.add_node(10)
+        ring.add_node(20)
+        assert ring.size == 2
+        ring.remove_node(10)
+        assert ring.size == 1
+        assert not ring.contains(10)
+
+    def test_duplicate_add_rejected(self):
+        ring = DHTRing()
+        ring.add_node(1)
+        with pytest.raises(ValueError):
+            ring.add_node(1)
+
+    def test_remove_missing_rejected(self):
+        ring = DHTRing()
+        with pytest.raises(KeyError):
+            ring.remove_node(1)
+
+    def test_successor_predecessor_oracle(self):
+        ring = DHTRing()
+        for node_id in (10, 20, 30):
+            ring.add_node(node_id)
+        assert ring.successor_of(15) == 20
+        assert ring.successor_of(20) == 20
+        assert ring.successor_of(31) == 10  # wraps
+        assert ring.predecessor_of(10) == 30
+        assert ring.predecessor_of(20) == 10
+
+    def test_tables_auto_rebuild_on_lookup(self):
+        ring = DHTRing(HopSpaceFingers())
+        for node_id in uniform_ids(random.Random(16), 30):
+            ring.add_node(node_id)
+        # No explicit rebuild: ensure_tables must kick in.
+        source = ring.member_ids[0]
+        result = ring.lookup(source, 777)
+        assert result.owner == ring.successor_of(777)
+
+    def test_mean_routing_table_size_logarithmic(self):
+        ids = uniform_ids(random.Random(17), 256)
+        ring = _build_ring(ids, HopSpaceFingers())
+        # log2(256) = 8 fingers plus up to 4 successors, minus overlap.
+        assert 8 <= ring.mean_routing_table_size() <= 13

@@ -1,0 +1,56 @@
+"""Run the doctest examples embedded in module docstrings.
+
+Every public-API code example in a docstring is executable documentation;
+this test keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.keys
+import repro.corpus.loader
+import repro.corpus.synthetic
+import repro.dht.hashing
+import repro.dht.idspace
+import repro.eval.quality
+import repro.ir.analysis
+import repro.ir.query_language
+import repro.ir.stemmer
+import repro.ir.tokenizer
+import repro.net.message
+import repro.util.rng
+import repro.util.stats
+import repro.util.zipf
+
+_MODULES = [
+    repro.core.keys,
+    repro.corpus.loader,
+    repro.corpus.synthetic,
+    repro.dht.hashing,
+    repro.dht.idspace,
+    repro.eval.quality,
+    repro.ir.analysis,
+    repro.ir.query_language,
+    repro.ir.stemmer,
+    repro.ir.tokenizer,
+    repro.net.message,
+    repro.util.rng,
+    repro.util.stats,
+    repro.util.zipf,
+]
+
+
+@pytest.mark.parametrize("module", _MODULES,
+                         ids=[module.__name__ for module in _MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, \
+        f"{results.failed} doctest failure(s) in {module.__name__}"
+
+
+def test_doctests_actually_present():
+    # Guard against the suite silently testing nothing.
+    total = sum(doctest.testmod(module, verbose=False).attempted
+                for module in _MODULES)
+    assert total >= 15

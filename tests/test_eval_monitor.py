@@ -1,0 +1,113 @@
+"""Tests for the network monitor (the demo's monitoring station)."""
+
+import pytest
+
+from repro.core.config import AlvisConfig
+from repro.core.network import AlvisNetwork
+from repro.corpus.loader import sample_documents
+from repro.eval.monitor import NetworkMonitor
+
+
+@pytest.fixture()
+def monitored_network():
+    network = AlvisNetwork(num_peers=6, seed=71)
+    network.distribute_documents(sample_documents())
+    network.build_index(mode="hdk")
+    return network
+
+
+class TestSnapshot:
+    def test_counts_match_network(self, monitored_network):
+        monitor = NetworkMonitor(monitored_network)
+        snapshot = monitor.snapshot()
+        assert snapshot.num_peers == 6
+        assert snapshot.num_documents == 12
+        assert snapshot.index_mode == "hdk"
+        assert snapshot.total_keys > 0
+        assert snapshot.total_postings > 0
+        assert snapshot.storage_bytes_total > 0
+        assert 0 <= snapshot.storage_gini < 1
+        assert snapshot.bytes_total > 0
+
+    def test_keys_by_size_sums_to_total(self, monitored_network):
+        snapshot = NetworkMonitor(monitored_network).snapshot()
+        assert sum(snapshot.keys_by_size.values()) == snapshot.total_keys
+
+    def test_traffic_breakdown_covers_total(self, monitored_network):
+        snapshot = NetworkMonitor(monitored_network).snapshot()
+        assert snapshot.traffic.total == pytest.approx(
+            snapshot.bytes_total)
+
+    def test_history_accumulates(self, monitored_network):
+        monitor = NetworkMonitor(monitored_network)
+        monitor.snapshot()
+        monitor.snapshot()
+        assert len(monitor.history) == 2
+
+    def test_as_dict_flat(self, monitored_network):
+        snapshot = NetworkMonitor(monitored_network).snapshot()
+        flat = snapshot.as_dict()
+        assert flat["peers"] == 6.0
+        assert "traffic_retrieval" in flat
+        assert all(isinstance(value, float) for value in flat.values())
+
+
+class TestDelta:
+    def test_delta_captures_query_traffic(self, monitored_network):
+        monitor = NetworkMonitor(monitored_network)
+        monitor.snapshot()
+        origin = monitored_network.peer_ids()[0]
+        monitored_network.query(origin, "posting list truncation")
+        monitor.snapshot()
+        delta = monitor.delta()
+        assert delta["bytes_total"] > 0
+        assert delta["messages_total"] > 0
+        assert delta["traffic_retrieval"] > 0
+        assert delta["documents"] == 0
+
+    def test_delta_needs_two_snapshots(self, monitored_network):
+        monitor = NetworkMonitor(monitored_network)
+        monitor.snapshot()
+        with pytest.raises(ValueError):
+            monitor.delta()
+
+
+class TestRender:
+    def test_render_contains_key_sections(self, monitored_network):
+        text = NetworkMonitor(monitored_network).render()
+        assert "AlvisP2P network monitor" in text
+        assert "peers: 6" in text
+        assert "global index:" in text
+        assert "retrieval" in text
+
+    def test_render_qdi_section(self):
+        network = AlvisNetwork(
+            num_peers=4, seed=72,
+            config=AlvisConfig(qdi_activation_threshold=1))
+        network.distribute_documents(sample_documents())
+        network.build_index(mode="qdi")
+        network.query(network.peer_ids()[0], "posting list truncation")
+        text = NetworkMonitor(network).render()
+        assert "QDI:" in text
+
+
+class TestParallelProbeLatency:
+    def test_parallel_probes_reduce_rtt(self):
+        """Ablation: with level-parallel probing, per-query latency is
+        bounded by lattice depth, not lattice size."""
+        results = {}
+        for parallel in (True, False):
+            network = AlvisNetwork(
+                num_peers=6, seed=73,
+                config=AlvisConfig(parallel_probes=parallel))
+            network.distribute_documents(sample_documents())
+            network.build_index(mode="hdk")
+            _r, trace = network.query(network.peer_ids()[0],
+                                      "peer index network")
+            results[parallel] = (trace.rtt_estimate, trace.bytes_sent,
+                                 trace.request_messages)
+        assert results[True][0] <= results[False][0]
+        # Bytes and message counts must be identical: only latency
+        # accounting changes.
+        assert results[True][1] == results[False][1]
+        assert results[True][2] == results[False][2]

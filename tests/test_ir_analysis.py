@@ -1,0 +1,178 @@
+"""Tests for tokenizer, stemmer, stopwords and the analysis pipeline."""
+
+import pytest
+
+from repro.ir.analysis import Analyzer
+from repro.ir.stemmer import PorterStemmer
+from repro.ir.stopwords import DEFAULT_STOPWORDS
+from repro.ir.tokenizer import MAX_TOKEN_LENGTH, tokenize
+
+
+class TestTokenizer:
+    def test_basic_split(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_numbers_kept(self):
+        assert tokenize("room 42") == ["room", "42"]
+
+    def test_hyphen_splits(self):
+        assert tokenize("peer-to-peer") == ["peer", "to", "peer"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!! --- ...") == []
+
+    def test_case_folding(self):
+        assert tokenize("BM25 Bm25 bm25") == ["bm25"] * 3
+
+    def test_long_junk_dropped(self):
+        junk = "x" * (MAX_TOKEN_LENGTH + 1)
+        assert tokenize(f"good {junk} fine") == ["good", "fine"]
+
+    def test_unicode_ignored(self):
+        # The simple tokenizer is ASCII-alnum only; accents split tokens.
+        assert tokenize("café") == ["caf"]
+
+
+class TestPorterStemmer:
+    @pytest.fixture(scope="class")
+    def stemmer(self):
+        return PorterStemmer()
+
+    @pytest.mark.parametrize("word,expected", [
+        # Classic examples from Porter's paper.
+        ("caresses", "caress"),
+        ("ponies", "poni"),
+        ("ties", "ti"),
+        ("caress", "caress"),
+        ("cats", "cat"),
+        ("feed", "feed"),
+        ("agreed", "agre"),
+        ("plastered", "plaster"),
+        ("bled", "bled"),
+        ("motoring", "motor"),
+        ("sing", "sing"),
+        ("conflated", "conflat"),
+        ("troubled", "troubl"),
+        ("sized", "size"),
+        ("hopping", "hop"),
+        ("tanned", "tan"),
+        ("falling", "fall"),
+        ("hissing", "hiss"),
+        ("fizzed", "fizz"),
+        ("failing", "fail"),
+        ("filing", "file"),
+        ("happy", "happi"),
+        ("sky", "sky"),
+        ("relational", "relat"),
+        ("conditional", "condit"),
+        ("rational", "ration"),
+        ("valenci", "valenc"),
+        ("digitizer", "digit"),
+        ("operator", "oper"),
+        ("feudalism", "feudal"),
+        ("decisiveness", "decis"),
+        ("hopefulness", "hope"),
+        ("callousness", "callous"),
+        ("formaliti", "formal"),
+        ("sensitiviti", "sensit"),
+        ("triplicate", "triplic"),
+        ("formative", "form"),
+        ("formalize", "formal"),
+        ("electriciti", "electr"),
+        ("electrical", "electr"),
+        ("hopeful", "hope"),
+        ("goodness", "good"),
+        ("revival", "reviv"),
+        ("allowance", "allow"),
+        ("inference", "infer"),
+        ("airliner", "airlin"),
+        ("gyroscopic", "gyroscop"),
+        ("adjustable", "adjust"),
+        ("defensible", "defens"),
+        ("irritant", "irrit"),
+        ("replacement", "replac"),
+        ("adjustment", "adjust"),
+        ("dependent", "depend"),
+        ("adoption", "adopt"),
+        ("homologou", "homolog"),
+        ("communism", "commun"),
+        ("activate", "activ"),
+        ("angulariti", "angular"),
+        ("homologous", "homolog"),
+        ("effective", "effect"),
+        ("bowdlerize", "bowdler"),
+        ("probate", "probat"),
+        ("rate", "rate"),
+        ("cease", "ceas"),
+        ("controll", "control"),
+        ("roll", "roll"),
+    ])
+    def test_porter_vocabulary(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    def test_short_words_untouched(self, stemmer):
+        assert stemmer.stem("is") == "is"
+        assert stemmer.stem("a") == "a"
+
+    def test_idempotent_on_common_words(self, stemmer):
+        for word in ("running", "retrieval", "indexes", "combination",
+                     "scalability", "documents"):
+            once = stemmer.stem(word)
+            assert stemmer.stem(once) == once or len(once) <= 2
+
+    def test_same_family_same_stem(self, stemmer):
+        assert stemmer.stem("indexing") == stemmer.stem("indexed")
+        assert stemmer.stem("retrieval") != ""
+        assert stemmer.stem("connect") == stemmer.stem("connected")
+        assert stemmer.stem("connect") == stemmer.stem("connecting")
+        assert stemmer.stem("connect") == stemmer.stem("connection")[:7]
+
+
+class TestAnalyzer:
+    def test_pipeline(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("The quick brown foxes are running") == \
+            ["quick", "brown", "fox", "run"]
+
+    def test_stopwords_removed(self):
+        analyzer = Analyzer()
+        terms = analyzer.analyze("the and of with")
+        assert terms == []
+
+    def test_no_stemming_option(self):
+        analyzer = Analyzer(stem=False)
+        assert analyzer.analyze("running foxes") == ["running", "foxes"]
+
+    def test_custom_stopwords(self):
+        analyzer = Analyzer(stopwords=frozenset({"foo"}), stem=False)
+        assert analyzer.analyze("foo bar the") == ["bar", "the"]
+
+    def test_min_term_length(self):
+        analyzer = Analyzer(min_term_length=4, stem=False)
+        assert analyzer.analyze("cat door") == ["door"]
+
+    def test_min_term_length_validation(self):
+        with pytest.raises(ValueError):
+            Analyzer(min_term_length=0)
+
+    def test_analyze_query_dedupes_preserving_order(self):
+        analyzer = Analyzer()
+        terms = analyzer.analyze_query("peers peer retrieval peers")
+        assert terms == ["peer", "retriev"]
+
+    def test_stem_cache_consistent(self):
+        analyzer = Analyzer()
+        first = analyzer.analyze("retrieval retrieval retrieval")
+        second = analyzer.analyze("retrieval")
+        assert set(first) == set(second)
+
+    def test_default_stopwords_are_lowercase(self):
+        assert all(word == word.lower() for word in DEFAULT_STOPWORDS)
+
+    def test_query_and_document_agree(self):
+        # The core requirement: same analysis for documents and queries.
+        analyzer = Analyzer()
+        doc_terms = analyzer.analyze("Scalable retrieval of documents")
+        query_terms = analyzer.analyze_query("scalability Document")
+        assert query_terms[1] in doc_terms

@@ -1,0 +1,140 @@
+"""Tests for documents, the document store, and Alvis digests."""
+
+import pytest
+
+from repro.ir.analysis import Analyzer
+from repro.ir.digest import (
+    DocumentDigest,
+    digest_from_terms,
+    parse_digest,
+    render_digest,
+)
+from repro.ir.documents import Document, DocumentStore
+
+
+class TestDocumentStore:
+    def test_add_get(self):
+        store = DocumentStore()
+        doc = Document(doc_id=1, title="t", text="x")
+        store.add(doc)
+        assert store.get(1) is doc
+        assert 1 in store
+        assert len(store) == 1
+
+    def test_duplicate_rejected(self):
+        store = DocumentStore()
+        store.add(Document(doc_id=1, title="t", text="x"))
+        with pytest.raises(ValueError):
+            store.add(Document(doc_id=1, title="t2", text="y"))
+
+    def test_remove(self):
+        store = DocumentStore()
+        store.add(Document(doc_id=1, title="t", text="x"))
+        removed = store.remove(1)
+        assert removed.title == "t"
+        assert len(store) == 0
+        with pytest.raises(KeyError):
+            store.remove(1)
+
+    def test_iteration_and_ids(self):
+        store = DocumentStore()
+        for doc_id in (3, 1, 2):
+            store.add(Document(doc_id=doc_id, title="", text=""))
+        assert sorted(store.ids()) == [1, 2, 3]
+        assert len(list(store)) == 3
+
+    def test_get_missing_is_none(self):
+        assert DocumentStore().get(5) is None
+
+    def test_length_terms(self):
+        doc = Document(doc_id=1, title="t",
+                       text="the quick foxes are running")
+        assert doc.length_terms(Analyzer()) == 3
+
+
+class TestDigestModel:
+    def test_from_terms_roundtrip_sequence(self):
+        digest = digest_from_terms("http://x", "T",
+                                   ["alpha", "beta", "alpha"])
+        assert digest.term_positions["alpha"] == (0, 2)
+        assert digest.term_positions["beta"] == (1,)
+        assert digest.term_sequence() == ["alpha", "beta", "alpha"]
+
+    def test_sequence_with_gaps(self):
+        digest = DocumentDigest("u", "t", {"a": (0,), "b": (5,)})
+        assert digest.term_sequence() == ["a", "b"]
+
+    def test_validate_rejects_negative_position(self):
+        digest = DocumentDigest("u", "t", {"a": (-1,)})
+        with pytest.raises(ValueError):
+            digest.validate()
+
+    def test_validate_rejects_position_clash(self):
+        digest = DocumentDigest("u", "t", {"a": (0,), "b": (0,)})
+        with pytest.raises(ValueError):
+            digest.validate()
+
+    def test_validate_rejects_empty_term(self):
+        digest = DocumentDigest("u", "t", {"": (0,)})
+        with pytest.raises(ValueError):
+            digest.validate()
+
+
+class TestDigestXml:
+    def test_render_parse_roundtrip(self):
+        digests = [
+            digest_from_terms("http://a", "First", ["peer", "index",
+                                                    "peer"]),
+            digest_from_terms("http://b", "Second", ["overlay"]),
+        ]
+        xml_text = render_digest(digests)
+        parsed = parse_digest(xml_text)
+        assert len(parsed) == 2
+        assert parsed[0].url == "http://a"
+        assert parsed[0].title == "First"
+        assert parsed[0].term_positions == digests[0].term_positions
+        assert parsed[1].term_sequence() == ["overlay"]
+
+    def test_render_is_xml(self):
+        xml_text = render_digest([digest_from_terms("u", "t", ["x"])])
+        assert xml_text.startswith("<digest>")
+        assert "<term value=\"x\">" in xml_text
+
+    def test_parse_rejects_malformed_xml(self):
+        with pytest.raises(ValueError):
+            parse_digest("<digest><document")
+
+    def test_parse_rejects_wrong_root(self):
+        with pytest.raises(ValueError):
+            parse_digest("<other/>")
+
+    def test_parse_rejects_missing_url(self):
+        with pytest.raises(ValueError):
+            parse_digest("<digest><document title='t'/></digest>")
+
+    def test_parse_rejects_missing_term_value(self):
+        xml_text = ("<digest><document url='u' title='t'>"
+                    "<term><pos>0</pos></term></document></digest>")
+        with pytest.raises(ValueError):
+            parse_digest(xml_text)
+
+    def test_parse_rejects_non_integer_position(self):
+        xml_text = ("<digest><document url='u' title='t'>"
+                    "<term value='a'><pos>x</pos></term>"
+                    "</document></digest>")
+        with pytest.raises(ValueError):
+            parse_digest(xml_text)
+
+    def test_empty_digest(self):
+        assert parse_digest("<digest/>") == []
+
+    def test_digest_supports_external_engine_flow(self):
+        """Section 4: an external engine exports its index as a digest;
+        the peer regenerates a local index from term positions alone."""
+        from repro.ir.inverted_index import InvertedIndex
+        digest = digest_from_terms("http://library/d1", "Catalogue",
+                                   ["semant", "index", "semant", "rich"])
+        index = InvertedIndex()
+        index.add_document(42, digest.term_sequence())
+        assert index.term_frequency("semant", 42) == 2
+        assert index.documents_with_all(["semant", "rich"]) == {42}

@@ -1,0 +1,155 @@
+"""Tests for the positional inverted index."""
+
+import pytest
+
+from repro.ir.inverted_index import InvertedIndex
+
+
+def _small_index():
+    index = InvertedIndex()
+    index.add_document(1, ["peer", "to", "peer", "retrieval"])
+    index.add_document(2, ["peer", "network", "overlay"])
+    index.add_document(3, ["retrieval", "quality", "evaluation"])
+    return index
+
+
+class TestConstruction:
+    def test_counts(self):
+        index = _small_index()
+        assert index.num_documents == 3
+        assert index.total_terms == 10
+        assert index.average_document_length == pytest.approx(10 / 3)
+
+    def test_document_length(self):
+        index = _small_index()
+        assert index.document_length(1) == 4
+        assert index.document_length(2) == 3
+
+    def test_duplicate_doc_rejected(self):
+        index = _small_index()
+        with pytest.raises(ValueError):
+            index.add_document(1, ["x"])
+
+    def test_vocabulary(self):
+        index = _small_index()
+        assert set(index.vocabulary()) == {
+            "peer", "to", "retrieval", "network", "overlay", "quality",
+            "evaluation"}
+        assert index.vocabulary_size() == 7
+
+    def test_empty_document_allowed(self):
+        index = InvertedIndex()
+        index.add_document(9, [])
+        assert index.num_documents == 1
+        assert index.document_length(9) == 0
+
+
+class TestRemoval:
+    def test_remove_updates_postings(self):
+        index = _small_index()
+        index.remove_document(1)
+        assert index.num_documents == 2
+        assert index.document_frequency("peer") == 1
+        assert index.document_frequency("to") == 0
+        assert "to" not in index.vocabulary()
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(KeyError):
+            _small_index().remove_document(99)
+
+
+class TestFrequencies:
+    def test_document_frequency(self):
+        index = _small_index()
+        assert index.document_frequency("peer") == 2
+        assert index.document_frequency("quality") == 1
+        assert index.document_frequency("absent") == 0
+
+    def test_term_frequency(self):
+        index = _small_index()
+        assert index.term_frequency("peer", 1) == 2
+        assert index.term_frequency("peer", 2) == 1
+        assert index.term_frequency("peer", 3) == 0
+        assert index.term_frequency("absent", 1) == 0
+
+    def test_occurrences_positions(self):
+        index = _small_index()
+        occurrences = {occurrence.doc_id: occurrence.positions
+                       for occurrence in index.occurrences("peer")}
+        assert occurrences[1] == (0, 2)
+        assert occurrences[2] == (0,)
+
+
+class TestConjunctiveMatch:
+    def test_documents_with_all(self):
+        index = _small_index()
+        assert index.documents_with_all(["peer", "retrieval"]) == {1}
+        assert index.documents_with_all(["peer"]) == {1, 2}
+        assert index.documents_with_all(["retrieval"]) == {1, 3}
+
+    def test_unknown_term_short_circuits(self):
+        index = _small_index()
+        assert index.documents_with_all(["peer", "absent"]) == set()
+
+    def test_empty_terms(self):
+        assert _small_index().documents_with_all([]) == set()
+
+    def test_key_document_frequency(self):
+        index = _small_index()
+        assert index.key_document_frequency(["peer", "retrieval"]) == 1
+        assert index.key_document_frequency(["retrieval"]) == 2
+
+
+class TestProximity:
+    def test_cooccurring_within_window(self):
+        index = InvertedIndex()
+        index.add_document(1, ["alpha", "x", "beta", "y", "gamma"])
+        near = index.cooccurring_terms(["alpha"], window=2)
+        assert "beta" in near
+        assert "x" in near
+        assert "gamma" not in near  # 4 positions away
+
+    def test_window_counts_documents(self):
+        index = InvertedIndex()
+        index.add_document(1, ["alpha", "beta"])
+        index.add_document(2, ["alpha", "beta"])
+        index.add_document(3, ["alpha", "z", "z", "z", "beta"])
+        near = index.cooccurring_terms(["alpha"], window=1)
+        assert near["beta"] == 2  # doc 3's beta is outside the window
+
+    def test_multi_term_key_requires_all_near(self):
+        index = InvertedIndex()
+        index.add_document(1, ["a", "b", "c"])
+        index.add_document(2, ["a", "x", "x", "x", "x", "b", "c"])
+        near = index.cooccurring_terms(["a", "b"], window=2)
+        # Doc 1: c at position 2 is within 2 of a(0) and b(1); doc 2: a
+        # and b are 5 apart -> no position is near both.
+        assert near.get("c") == 1
+
+    def test_key_terms_excluded_from_candidates(self):
+        index = InvertedIndex()
+        index.add_document(1, ["a", "b", "a", "b"])
+        near = index.cooccurring_terms(["a"], window=3)
+        assert "a" not in near
+        assert "b" in near
+
+    def test_no_matching_documents(self):
+        index = _small_index()
+        assert index.cooccurring_terms(["absent"], window=5) == {}
+
+    def test_restricted_doc_ids(self):
+        index = InvertedIndex()
+        index.add_document(1, ["a", "b"])
+        index.add_document(2, ["a", "c"])
+        near = index.cooccurring_terms(["a"], window=1, doc_ids=[2])
+        assert "c" in near
+        assert "b" not in near
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            _small_index().cooccurring_terms(["peer"], window=0)
+
+    def test_term_sequence_roundtrip(self):
+        index = _small_index()
+        assert index.term_sequence(1) == ("peer", "to", "peer",
+                                          "retrieval")

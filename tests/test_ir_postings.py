@@ -1,0 +1,127 @@
+"""Tests for postings and posting lists (truncation discipline)."""
+
+import pytest
+
+from repro.ir.postings import POSTING_WIRE_BYTES, Posting, PostingList
+
+
+class TestPosting:
+    def test_wire_size_constant(self):
+        assert Posting(1, 0.5).wire_size() == POSTING_WIRE_BYTES
+        assert Posting(10 ** 12, 123.456).wire_size() == POSTING_WIRE_BYTES
+
+    def test_frozen(self):
+        posting = Posting(1, 0.5)
+        with pytest.raises(AttributeError):
+            posting.score = 2.0
+
+
+class TestPostingListConstruction:
+    def test_sorted_by_score_desc(self):
+        plist = PostingList([Posting(1, 0.2), Posting(2, 0.9),
+                             Posting(3, 0.5)])
+        assert plist.doc_ids() == [2, 3, 1]
+
+    def test_tie_broken_by_doc_id(self):
+        plist = PostingList([Posting(5, 1.0), Posting(3, 1.0),
+                             Posting(4, 1.0)])
+        assert plist.doc_ids() == [3, 4, 5]
+
+    def test_duplicates_removed_best_score_kept(self):
+        plist = PostingList([Posting(1, 0.3), Posting(1, 0.8)])
+        assert len(plist) == 1
+        assert plist.entries[0].score == 0.8
+
+    def test_empty(self):
+        plist = PostingList()
+        assert len(plist) == 0
+        assert not plist
+        assert not plist.truncated
+
+    def test_global_df_defaults_to_length(self):
+        plist = PostingList([Posting(1, 1.0), Posting(2, 0.5)])
+        assert plist.global_df == 2
+        assert not plist.truncated
+
+    def test_global_df_smaller_than_entries_rejected(self):
+        with pytest.raises(ValueError):
+            PostingList([Posting(1, 1.0), Posting(2, 0.5)], global_df=1)
+
+
+class TestTruncation:
+    def test_truncate_keeps_top_k(self):
+        entries = [Posting(index, 1.0 / (index + 1)) for index in range(10)]
+        plist = PostingList(entries)
+        top3 = plist.truncate(3)
+        assert top3.doc_ids() == [0, 1, 2]
+        assert top3.global_df == 10
+        assert top3.truncated
+
+    def test_truncate_noop_when_short(self):
+        plist = PostingList([Posting(1, 1.0)])
+        assert plist.truncate(5).doc_ids() == [1]
+
+    def test_truncated_flag(self):
+        plist = PostingList([Posting(1, 1.0)], global_df=100)
+        assert plist.truncated
+        full = PostingList([Posting(1, 1.0)], global_df=1)
+        assert not full.truncated
+
+    def test_truncate_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PostingList().truncate(-1)
+
+    def test_wire_size_bounded_by_entries(self):
+        # The paper's bounded-bandwidth invariant: wire size depends only
+        # on stored entries, never on global df.
+        entries = [Posting(index, float(index)) for index in range(20)]
+        a = PostingList(entries, global_df=20)
+        b = PostingList(entries, global_df=10 ** 9)
+        assert a.wire_size() == b.wire_size()
+
+
+class TestMergeAndUnion:
+    def test_merge_takes_max_score(self):
+        a = PostingList([Posting(1, 0.3), Posting(2, 0.9)])
+        b = PostingList([Posting(1, 0.7), Posting(3, 0.1)])
+        merged = a.merge(b)
+        scores = {posting.doc_id: posting.score for posting in merged}
+        assert scores == {1: 0.7, 2: 0.9, 3: 0.1}
+
+    def test_merge_limit(self):
+        a = PostingList([Posting(1, 0.9), Posting(2, 0.8)])
+        b = PostingList([Posting(3, 0.7), Posting(4, 0.6)])
+        merged = a.merge(b, limit=2)
+        assert merged.doc_ids() == [1, 2]
+
+    def test_merge_preserves_max_global_df(self):
+        a = PostingList([Posting(1, 1.0)], global_df=50)
+        b = PostingList([Posting(2, 1.0)], global_df=10)
+        assert a.merge(b).global_df == 50
+
+    def test_merge_with_empty(self):
+        a = PostingList([Posting(1, 1.0)])
+        merged = a.merge(PostingList())
+        assert merged.doc_ids() == [1]
+
+    def test_union_of_many(self):
+        lists = [PostingList([Posting(index, float(index))])
+                 for index in range(5)]
+        union = PostingList.union(lists)
+        assert union.doc_ids() == [4, 3, 2, 1, 0]
+
+    def test_union_with_limit(self):
+        lists = [PostingList([Posting(index, float(index))])
+                 for index in range(5)]
+        union = PostingList.union(lists, limit=2)
+        assert union.doc_ids() == [4, 3]
+
+    def test_union_empty(self):
+        assert len(PostingList.union([])) == 0
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = PostingList([Posting(1, 1.0)])
+        b = PostingList([Posting(2, 2.0)])
+        a.merge(b)
+        assert a.doc_ids() == [1]
+        assert b.doc_ids() == [2]

@@ -1,0 +1,181 @@
+"""Tests for the structured (boolean/phrase) query language."""
+
+import pytest
+
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.query_language import (
+    And,
+    Not,
+    Or,
+    Phrase,
+    QuerySyntaxError,
+    Term,
+    evaluate,
+    parse_query,
+)
+from repro.ir.search import LocalSearchEngine
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return Analyzer()
+
+
+@pytest.fixture(scope="module")
+def index():
+    built = InvertedIndex()
+    analyzer = Analyzer()
+    texts = {
+        1: "peer to peer retrieval over structured overlays",
+        2: "posting list truncation bounds bandwidth",
+        3: "peer ranking uses posting list statistics",
+        4: "centralized engines rank with bm25",
+        5: "truncation of ranking lists in peer networks",
+    }
+    for doc_id, text in texts.items():
+        built.add_document(doc_id, analyzer.analyze(text))
+    return built
+
+
+class TestParser:
+    def test_single_term(self, analyzer):
+        node = parse_query("retrieval", analyzer)
+        assert node == Term("retriev")
+
+    def test_terms_are_analyzed(self, analyzer):
+        assert parse_query("Ranking", analyzer) == Term("rank")
+
+    def test_implicit_and(self, analyzer):
+        node = parse_query("peer ranking", analyzer)
+        assert isinstance(node, And)
+        assert node.children == (Term("peer"), Term("rank"))
+
+    def test_explicit_and_or_precedence(self, analyzer):
+        node = parse_query("a1 AND b1 OR c1", analyzer)
+        assert isinstance(node, Or)
+        assert isinstance(node.children[0], And)
+
+    def test_parentheses_override(self, analyzer):
+        node = parse_query("a1 AND (b1 OR c1)", analyzer)
+        assert isinstance(node, And)
+        assert isinstance(node.children[1], Or)
+
+    def test_not_prefix(self, analyzer):
+        node = parse_query("NOT peer", analyzer)
+        assert node == Not(Term("peer"))
+
+    def test_nested_not(self, analyzer):
+        node = parse_query("NOT NOT peer", analyzer)
+        assert node == Not(Not(Term("peer")))
+
+    def test_phrase(self, analyzer):
+        node = parse_query('"posting list"', analyzer)
+        assert node == Phrase(("post", "list"))
+
+    def test_single_word_phrase_collapses_to_term(self, analyzer):
+        assert parse_query('"ranking"', analyzer) == Term("rank")
+
+    def test_hyphenated_token_becomes_phrase(self, analyzer):
+        node = parse_query("peer-ranking", analyzer)
+        assert node == Phrase(("peer", "rank"))
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "(", "(peer", "peer)", "AND", "peer AND",
+        "NOT", '"the of"', "the",
+    ])
+    def test_syntax_errors(self, analyzer, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad, analyzer)
+
+    def test_positive_terms_exclude_not(self, analyzer):
+        node = parse_query("peer AND NOT ranking", analyzer)
+        assert node.positive_terms() == ["peer"]
+
+
+class TestEvaluation:
+    def test_term(self, index, analyzer):
+        node = parse_query("peer", analyzer)
+        assert evaluate(node, index) == {1, 3, 5}
+
+    def test_and(self, index, analyzer):
+        node = parse_query("peer AND truncation", analyzer)
+        assert evaluate(node, index) == {5}
+
+    def test_or(self, index, analyzer):
+        node = parse_query("bm25 OR bandwidth", analyzer)
+        assert evaluate(node, index) == {2, 4}
+
+    def test_not(self, index, analyzer):
+        node = parse_query("NOT peer", analyzer)
+        assert evaluate(node, index) == {2, 4}
+
+    def test_and_not_combination(self, index, analyzer):
+        node = parse_query("posting AND NOT truncation", analyzer)
+        assert evaluate(node, index) == {3}
+
+    def test_phrase_requires_adjacency(self, index, analyzer):
+        node = parse_query('"posting list"', analyzer)
+        assert evaluate(node, index) == {2, 3}
+        # 'ranking lists' in doc 5 -> "rank list" adjacent.
+        node = parse_query('"ranking lists"', analyzer)
+        assert evaluate(node, index) == {5}
+
+    def test_phrase_not_matched_when_separated(self, index, analyzer):
+        node = parse_query('"peer statistics"', analyzer)
+        assert evaluate(node, index) == set()
+
+    def test_complex_query(self, index, analyzer):
+        node = parse_query(
+            '("posting list" OR bm25) AND NOT bandwidth', analyzer)
+        assert evaluate(node, index) == {3, 4}
+
+    def test_unknown_term_empty(self, index, analyzer):
+        node = parse_query("zzzqqq", analyzer)
+        assert evaluate(node, index) == set()
+
+    def test_empty_and_short_circuits(self, index, analyzer):
+        node = parse_query("zzzqqq AND peer", analyzer)
+        assert evaluate(node, index) == set()
+
+
+class TestStructuredSearch:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        built = LocalSearchEngine()
+        texts = [
+            (1, "Overlay survey",
+             "peer to peer retrieval over structured overlay networks"),
+            (2, "Truncation note",
+             "posting list truncation bounds bandwidth consumption"),
+            (3, "Ranking statistics",
+             "peer ranking uses posting list statistics and scores"),
+        ]
+        for doc_id, title, text in texts:
+            built.add_document(Document(doc_id=doc_id, title=title,
+                                        text=text))
+        return built
+
+    def test_ranked_results(self, engine):
+        results = engine.structured_search('peer AND "posting list"')
+        assert [result.doc_id for result in results] == [3]
+        assert results[0].score > 0
+        assert results[0].title == "Ranking statistics"
+
+    def test_or_widens(self, engine):
+        results = engine.structured_search("truncation OR overlay")
+        assert {result.doc_id for result in results} == {1, 2}
+
+    def test_not_only_query_scores_zero(self, engine):
+        results = engine.structured_search("NOT peer")
+        assert [result.doc_id for result in results] == [2]
+        assert results[0].score == 0.0
+
+    def test_k_limits(self, engine):
+        results = engine.structured_search("peer OR truncation", k=1)
+        assert len(results) == 1
+
+    def test_syntax_error_propagates(self, engine):
+        with pytest.raises(QuerySyntaxError):
+            engine.structured_search("(peer")

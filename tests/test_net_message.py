@@ -1,0 +1,83 @@
+"""Tests for the message / wire-size model."""
+
+import pytest
+
+from repro.ir.postings import Posting, PostingList
+from repro.net.message import HEADER_BYTES, Message, encoded_size
+
+
+class TestEncodedSize:
+    def test_primitives(self):
+        assert encoded_size(None) == 1
+        assert encoded_size(True) == 1
+        assert encoded_size(7) == 8
+        assert encoded_size(3.14) == 8
+
+    def test_strings(self):
+        assert encoded_size("") == 2
+        assert encoded_size("abc") == 5
+        assert encoded_size(b"abc") == 5
+
+    def test_unicode_measured_in_utf8(self):
+        assert encoded_size("é") == 2 + 2
+
+    def test_containers(self):
+        assert encoded_size([]) == 4
+        assert encoded_size([1, 2]) == 4 + 16
+        assert encoded_size((1,)) == 4 + 8
+        assert encoded_size({1, 2}) == 4 + 16
+
+    def test_mapping(self):
+        assert encoded_size({"a": 1}) == 4 + (2 + 1) + 8
+
+    def test_nested(self):
+        payload = {"items": [{"x": 1}, {"x": 2}]}
+        expected = 4 + (2 + 5) + (4 + 2 * (4 + 3 + 8))
+        assert encoded_size(payload) == expected
+
+    def test_wire_size_protocol_respected(self):
+        postings = PostingList([Posting(1, 1.0), Posting(2, 0.5)])
+        assert encoded_size(postings) == postings.wire_size()
+
+    def test_unknown_type_rejected(self):
+        class Opaque:
+            pass
+        with pytest.raises(TypeError):
+            encoded_size(Opaque())
+
+
+class TestMessage:
+    def test_size_includes_header(self):
+        message = Message(src=1, dst=2, kind="Ping", payload={})
+        assert message.size_bytes() == HEADER_BYTES + 4
+
+    def test_size_cached(self):
+        message = Message(src=1, dst=2, kind="Ping", payload={"n": 1})
+        assert message.size_bytes() == message.size_bytes()
+
+    def test_larger_payload_larger_message(self):
+        small = Message(src=1, dst=2, kind="X", payload={"v": [1]})
+        large = Message(src=1, dst=2, kind="X",
+                        payload={"v": list(range(100))})
+        assert large.size_bytes() > small.size_bytes()
+
+    def test_message_ids_unique(self):
+        first = Message(src=1, dst=2, kind="A")
+        second = Message(src=1, dst=2, kind="A")
+        assert first.message_id != second.message_id
+
+    def test_reply_routing(self):
+        request = Message(src=1, dst=2, kind="Req", payload={})
+        reply = request.reply("Rep", {"ok": True})
+        assert reply.src == 2
+        assert reply.dst == 1
+        assert reply.reply_to == request.message_id
+        assert reply.kind == "Rep"
+
+    def test_posting_list_payload_size_bounded(self):
+        # A truncated posting list's wire size must not depend on its
+        # (large) global df — the paper's central bounded-transfer claim.
+        entries = [Posting(index, 1.0 / (index + 1)) for index in range(20)]
+        small_df = PostingList(entries, global_df=20)
+        huge_df = PostingList(entries, global_df=10_000_000)
+        assert small_df.wire_size() == huge_df.wire_size()

@@ -1,0 +1,178 @@
+"""Tests for latency models and the transport."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatency, LogNormalLatency, UniformLatency
+from repro.net.message import Message
+from repro.net.transport import DeliveryError, Transport
+from repro.sim.events import Simulator
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(0.2)
+        assert model.delay(random.Random(0), 1, 2, 100) == 0.2
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.1)
+
+    def test_uniform_bounds(self):
+        model = UniformLatency(0.01, 0.05)
+        rng = random.Random(1)
+        for _ in range(200):
+            delay = model.delay(rng, 1, 2, 10)
+            assert 0.01 <= delay <= 0.05
+
+    def test_uniform_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+
+    def test_lognormal_positive(self):
+        model = LogNormalLatency()
+        rng = random.Random(2)
+        assert all(model.delay(rng, 1, 2, 100) > 0 for _ in range(100))
+
+    def test_lognormal_serialization_term(self):
+        model = LogNormalLatency(median_seconds=0.01, sigma=0.0,
+                                 bytes_per_second=1000.0)
+        rng = random.Random(3)
+        small = model.delay(rng, 1, 2, 0)
+        large = model.delay(rng, 1, 2, 10_000)
+        assert large == pytest.approx(small + 10.0)
+
+    def test_lognormal_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(median_seconds=0.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(sigma=-1)
+        with pytest.raises(ValueError):
+            LogNormalLatency(bytes_per_second=0)
+
+
+class _Echo:
+    """Replies to every message with an Echo of the payload."""
+
+    def __init__(self):
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append(message)
+        if message.kind == "OneWay":
+            return None
+        return message.reply("Echo", dict(message.payload))
+
+
+def _make_transport():
+    simulator = Simulator()
+    transport = Transport(simulator, ConstantLatency(0.1),
+                          random.Random(0))
+    return simulator, transport
+
+
+class TestTransportSync:
+    def test_request_reply(self):
+        _sim, transport = _make_transport()
+        echo = _Echo()
+        transport.register(2, echo)
+        reply, rtt = transport.request(
+            Message(src=1, dst=2, kind="Ping", payload={"x": 1}))
+        assert reply is not None
+        assert reply.payload == {"x": 1}
+        assert rtt == pytest.approx(0.2)  # two constant 0.1s legs
+
+    def test_one_way_rtt_single_leg(self):
+        _sim, transport = _make_transport()
+        transport.register(2, _Echo())
+        reply, rtt = transport.request(
+            Message(src=1, dst=2, kind="OneWay", payload={}))
+        assert reply is None
+        assert rtt == pytest.approx(0.1)
+
+    def test_unknown_destination_raises(self):
+        _sim, transport = _make_transport()
+        with pytest.raises(DeliveryError):
+            transport.request(Message(src=1, dst=99, kind="Ping"))
+
+    def test_bytes_accounted_both_directions(self):
+        simulator, transport = _make_transport()
+        transport.register(2, _Echo())
+        message = Message(src=1, dst=2, kind="Ping", payload={"x": 1})
+        request_size = message.size_bytes()
+        transport.request(message)
+        total = simulator.metrics.counter_value("net.bytes.sent")
+        assert total > request_size  # reply accounted too
+        assert simulator.metrics.counter_value(
+            "net.bytes.sent.Ping") == request_size
+        assert simulator.metrics.counter_value("net.bytes.sent.Echo") > 0
+        assert simulator.metrics.counter_value("net.msgs.sent") == 2
+
+    def test_per_peer_inbound_counters(self):
+        _sim, transport = _make_transport()
+        transport.register(2, _Echo())
+        transport.request(Message(src=1, dst=2, kind="Ping", payload={}))
+        assert transport.msgs_in[2] == 1
+        assert transport.bytes_in[2] > 0
+        # The reply was addressed to 1.
+        assert transport.msgs_in.get(1) == 1
+
+    def test_reset_load_counters(self):
+        _sim, transport = _make_transport()
+        transport.register(2, _Echo())
+        transport.request(Message(src=1, dst=2, kind="Ping", payload={}))
+        transport.reset_load_counters()
+        assert transport.msgs_in[2] == 0
+        assert transport.bytes_in[2] == 0
+
+    def test_send_local_no_bytes(self):
+        simulator, transport = _make_transport()
+        transport.register(2, _Echo())
+        reply = transport.send_local(
+            Message(src=2, dst=2, kind="Ping", payload={}))
+        assert reply is not None
+        assert simulator.metrics.counter_value("net.bytes.sent") == 0
+
+    def test_unregister(self):
+        _sim, transport = _make_transport()
+        transport.register(2, _Echo())
+        transport.unregister(2)
+        assert not transport.is_registered(2)
+        with pytest.raises(DeliveryError):
+            transport.request(Message(src=1, dst=2, kind="Ping"))
+
+
+class TestTransportAsync:
+    def test_async_delivery_after_latency(self):
+        simulator, transport = _make_transport()
+        echo = _Echo()
+        transport.register(2, echo)
+        replies = []
+        transport.send_async(
+            Message(src=1, dst=2, kind="Ping", payload={}),
+            on_reply=replies.append)
+        assert echo.received == []  # not yet delivered
+        simulator.run()
+        assert len(echo.received) == 1
+        assert len(replies) == 1
+        assert simulator.now == pytest.approx(0.2)
+
+    def test_async_drop_on_departed_peer(self):
+        simulator, transport = _make_transport()
+        transport.register(2, _Echo())
+        drops = []
+        transport.send_async(
+            Message(src=1, dst=2, kind="Ping", payload={}),
+            on_drop=drops.append)
+        transport.unregister(2)  # peer leaves before delivery
+        simulator.run()
+        assert len(drops) == 1
+
+    def test_async_without_reply_callback(self):
+        simulator, transport = _make_transport()
+        transport.register(2, _Echo())
+        transport.send_async(Message(src=1, dst=2, kind="Ping",
+                                     payload={}))
+        simulator.run()  # must not raise
+        assert simulator.metrics.counter_value("net.msgs.sent") == 1

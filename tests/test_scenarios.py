@@ -1,0 +1,178 @@
+"""End-to-end scenario tests: multi-phase stories exercising the whole
+stack together, the way the VLDB demo script would have run it."""
+
+import pytest
+
+from repro.core.access import AccessPolicy
+from repro.core.config import AlvisConfig
+from repro.core.network import AlvisNetwork
+from repro.core.persistence import load_network_index, save_network_index
+from repro.core.replication import ReplicationManager
+from repro.corpus.loader import sample_documents
+from repro.corpus.queries import QueryWorkload, QueryWorkloadConfig
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.eval.monitor import NetworkMonitor
+from repro.ir.digest import digest_from_terms, parse_digest, render_digest
+from repro.ir.documents import Document
+from repro.util.rng import make_rng
+
+
+class TestDemoDayScenario:
+    """The full demonstration storyline of Section 5, in one test."""
+
+    def test_full_demo_script(self, tmp_path):
+        # --- A running network with published content -----------------
+        config = AlvisConfig(qdi_activation_threshold=2)
+        network = AlvisNetwork(num_peers=10, config=config, seed=111)
+        corpus = SyntheticCorpus(SyntheticCorpusConfig(
+            num_documents=100, vocabulary_size=700, seed=112))
+        network.distribute_documents(corpus.documents())
+        network.build_index(mode="qdi")  # demo shows QDI live
+        monitor = NetworkMonitor(network)
+        start = monitor.snapshot()
+        assert start.index_mode == "qdi"
+
+        # --- A visitor's laptop joins through the Internet --------------
+        churn = network.churn()
+        visitor = churn.join()
+        assert network.ring.contains(visitor)
+
+        # --- The visitor indexes additional local content ----------------
+        note = Document(doc_id=0, title="Demo visitor notes",
+                        text="auckland vldb demo visitor notes about "
+                             "distributed retrieval auckland")
+        note_id = network.publish_incremental(visitor, note)
+
+        # --- Protected content with access rights ------------------------
+        private = Document(doc_id=0, title="Private slides",
+                           text="embargoed keynote slides xylophone")
+        private_id = network.publish_incremental(visitor, private)
+        network.peer(visitor).access.set_policy(
+            private_id, AccessPolicy.password("speaker", "pw"))
+
+        # --- Queries from several peers; QDI adapts ----------------------
+        workload = QueryWorkload.from_corpus(
+            corpus, QueryWorkloadConfig(pool_size=20, seed=113))
+        rng = make_rng(114, "demo-stream")
+        for index in range(60):
+            origin = network.peer_ids()[index % network.num_peers]
+            network.query(origin, list(workload.sample(rng)))
+        activations = sum(peer.qdi.stats.activations
+                          for peer in network.peers()
+                          if peer.qdi is not None)
+        assert activations > 0
+
+        # --- The visitor's content is globally searchable ----------------
+        searcher = network.peer_ids()[0]
+        results, _ = network.query(searcher, "auckland vldb demo")
+        assert any(doc.doc_id == note_id for doc in results)
+        # Access rights enforced on fetch.
+        found, _ = network.query(searcher, "embargoed keynote")
+        assert found
+        denied = network.fetch_document(searcher, private_id)
+        assert denied["error"] == "access-denied"
+        granted = network.fetch_document(searcher, private_id,
+                                         credentials=("speaker", "pw"))
+        assert granted["ok"]
+
+        # --- Monitoring station reports the activity ----------------------
+        after = monitor.snapshot()
+        delta = monitor.delta()
+        assert delta["bytes_total"] > 0
+        assert after.qdi_activations >= activations
+
+        # --- State survives a client restart -------------------------------
+        path = str(tmp_path / "demo-index.json")
+        save_network_index(network, path)
+        restored = load_network_index(network, path)
+        assert restored == network.num_peers
+        results_after, _ = network.query(searcher, "auckland vldb demo")
+        assert any(doc.doc_id == note_id for doc in results_after)
+
+
+class TestLibraryFederationScenario:
+    """Digital libraries federate via digests; one later withdraws."""
+
+    def test_federation_lifecycle(self):
+        network = AlvisNetwork(num_peers=6, seed=121)
+        network.distribute_documents(sample_documents())
+        # Two libraries export digests.
+        analyzer = network.analyzer
+        catalogues = {
+            network.peer_ids()[0]: (
+                "http://lib-a/ms1", "Herbarium catalogue",
+                "rare herbarium specimens with botanical annotations"),
+            network.peer_ids()[1]: (
+                "http://lib-b/ms2", "Botanical drawings",
+                "botanical drawings and herbarium plates archive"),
+        }
+        published = {}
+        for peer_id, (url, title, text) in catalogues.items():
+            digest = digest_from_terms(url, title,
+                                       analyzer.analyze(text))
+            parsed = parse_digest(render_digest([digest]))[0]
+            document = Document(doc_id=0, title=parsed.title,
+                                text=" ".join(parsed.term_sequence()),
+                                url=parsed.url)
+            published[peer_id] = network.publish_documents(
+                peer_id, [document])[0]
+        network.build_index(mode="hdk")
+
+        searcher = network.peer_ids()[3]
+        results, _ = network.query(searcher, "herbarium botanical")
+        ids = {doc.doc_id for doc in results}
+        assert set(published.values()) <= ids
+
+        # Library A withdraws its item.
+        first_peer = network.peer_ids()[0]
+        network.unpublish(first_peer, published[first_peer])
+        results, _ = network.query(searcher, "herbarium botanical")
+        ids = {doc.doc_id for doc in results}
+        assert published[first_peer] not in ids
+        assert published[network.peer_ids()[1]] in ids
+
+
+class TestDisasterRecoveryScenario:
+    """Replication + crash + repair + churn, interleaved."""
+
+    def test_survives_interleaved_faults(self):
+        network = AlvisNetwork(num_peers=12, seed=131)
+        corpus = SyntheticCorpus(SyntheticCorpusConfig(
+            num_documents=80, vocabulary_size=500, seed=132))
+        network.distribute_documents(corpus.documents())
+        network.build_index(mode="hdk")
+        manager = ReplicationManager(network, replication_factor=2)
+        manager.replicate_all()
+        workload = QueryWorkload.from_corpus(
+            corpus, QueryWorkloadConfig(pool_size=10, seed=133))
+        baseline = {}
+        origin = network.peer_ids()[0]
+        for query in workload.pool[:5]:
+            results, _ = network.query(origin, list(query))
+            baseline[query] = {doc.doc_id for doc in results}
+
+        churn = network.churn()
+        # Interleave: crash, join, crash, leave, repair after each crash.
+        victims = [pid for pid in network.peer_ids() if pid != origin]
+        network.fail_peer(victims[3])
+        manager.repair()
+        churn.join()
+        manager.replicate_all()
+        victims = [pid for pid in network.peer_ids() if pid != origin]
+        network.fail_peer(victims[5])
+        manager.repair()
+        churn.leave(
+            [pid for pid in network.peer_ids() if pid != origin][1])
+
+        # Index keys all live at their correct owners.
+        for peer in network.peers():
+            for entry in peer.fragment:
+                assert network.ring.successor_of(
+                    entry.key.key_id) == peer.peer_id
+        # Queries still return every surviving baseline document.
+        for query, expected in baseline.items():
+            surviving = {doc_id for doc_id in expected
+                         if network.doc_owner(doc_id) is not None}
+            results, _ = network.query(origin, list(query))
+            got = {doc.doc_id for doc in results}
+            assert surviving <= got

@@ -1,0 +1,194 @@
+"""Tests for the simulation kernel (clock, events, metrics)."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue, Simulator
+from repro.sim.metrics import MetricsRegistry
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_backwards_rejected(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_advance_by(self):
+        clock = VirtualClock(1.0)
+        clock.advance_by(2.0)
+        assert clock.now == 3.0
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance_by(-0.1)
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tiebreak_at_same_time(self):
+        queue = EventQueue()
+        order = []
+        for label in "abc":
+            queue.push(1.0, lambda label=label: order.append(label))
+        while queue:
+            queue.pop().callback()
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append(1))
+        event.cancel()
+        assert queue.pop() is None
+        assert fired == []
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(4.0, lambda: None)
+        first = queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+        first.cancel()
+        assert queue.peek_time() == 4.0
+
+
+class TestSimulator:
+    def test_run_to_exhaustion(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.schedule(0.5, lambda: fired.append(sim.now))
+        count = sim.run()
+        assert count == 2
+        assert fired == [0.5, 1.0]
+        assert sim.now == 1.0
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_limits(self):
+        sim = Simulator()
+        for index in range(10):
+            sim.schedule(float(index), lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert len(sim.queue) == 6
+
+    def test_run_until_parks_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(5.0, lambda: fired.append("late"))
+        processed = sim.run_until(2.0)
+        assert processed == 1
+        assert fired == ["early"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestMetricsRegistry:
+    def test_counter_creation_and_increment(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").increment()
+        registry.counter("a.b").increment(2.5)
+        assert registry.counter_value("a.b") == 3.5
+
+    def test_counter_default(self):
+        assert MetricsRegistry().counter_value("missing", -1.0) == -1.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").increment(-1)
+
+    def test_prefix_queries(self):
+        registry = MetricsRegistry()
+        registry.counter("net.bytes.a").increment(10)
+        registry.counter("net.bytes.b").increment(5)
+        registry.counter("other").increment(100)
+        assert registry.total_with_prefix("net.bytes.") == 15
+        assert set(registry.counters_with_prefix("net.bytes.")) == {
+            "net.bytes.a", "net.bytes.b"}
+
+    def test_histogram(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert len(histogram) == 3
+        assert histogram.summary()["mean"] == pytest.approx(2.0)
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("x").increment()
+        registry.histogram("y").observe(1.0)
+        registry.reset()
+        assert registry.counter_value("x") == 0.0
+        assert registry.snapshot() == {}
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("x").increment(7)
+        assert registry.snapshot() == {"x": 7.0}

@@ -1,0 +1,55 @@
+"""Tests for repro.util.rng."""
+
+from repro.util.rng import derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_different_labels_differ(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_different_parents_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_path_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_nested_vs_flat_labels_differ(self):
+        # ("ab",) must not collide with ("a", "b").
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_non_string_labels(self):
+        assert derive_seed(1, 7, 9) == derive_seed(1, 7, 9)
+        assert derive_seed(1, 7, 9) != derive_seed(1, 79)
+
+    def test_result_is_64_bit_unsigned(self):
+        for label in range(50):
+            seed = derive_seed(123, label)
+            assert 0 <= seed < 2 ** 64
+
+
+class TestMakeRng:
+    def test_same_labels_same_stream(self):
+        first = make_rng(5, "x").random()
+        second = make_rng(5, "x").random()
+        assert first == second
+
+    def test_different_labels_different_stream(self):
+        assert make_rng(5, "x").random() != make_rng(5, "y").random()
+
+    def test_no_labels_uses_seed_directly(self):
+        import random
+        assert make_rng(99).random() == random.Random(99).random()
+
+    def test_streams_are_independent(self):
+        # Consuming one stream must not affect the other.
+        a = make_rng(5, "a")
+        b = make_rng(5, "b")
+        a_values = [a.random() for _ in range(10)]
+        b_fresh = make_rng(5, "b")
+        assert [b.random() for _ in range(3)] == \
+            [b_fresh.random() for _ in range(3)]
+        a_fresh = make_rng(5, "a")
+        assert a_values == [a_fresh.random() for _ in range(10)]

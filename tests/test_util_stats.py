@@ -1,0 +1,167 @@
+"""Tests for repro.util.stats."""
+
+import math
+import random
+
+import pytest
+
+from repro.util.stats import (
+    RunningStats,
+    gini_coefficient,
+    max_over_mean,
+    percentile,
+    summarize,
+)
+
+
+class TestPercentile:
+    def test_median_even(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_extremes(self):
+        values = [5, 1, 9, 3]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7
+
+    def test_unsorted_input_ok(self):
+        assert percentile([9, 1, 5], 50) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([1], -1)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([3, 3, 3, 3]) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        assert gini_coefficient([0, 0, 0, 0, 100]) > 0.7
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_bounded(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            values = [rng.random() * 10 for _ in range(30)]
+            g = gini_coefficient(values)
+            assert 0 <= g < 1
+
+    def test_scale_invariant(self):
+        values = [1, 2, 3, 4, 5]
+        scaled = [10 * v for v in values]
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient(scaled))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([1, -1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+
+
+class TestMaxOverMean:
+    def test_balanced_is_one(self):
+        assert max_over_mean([4, 4, 4]) == pytest.approx(1.0)
+
+    def test_hot_spot(self):
+        assert max_over_mean([1, 1, 10]) == pytest.approx(2.5)
+
+    def test_all_zero(self):
+        assert max_over_mean([0, 0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_over_mean([])
+
+
+class TestSummarize:
+    def test_fields_present(self):
+        report = summarize([1, 2, 3])
+        for field in ("n", "mean", "std", "min", "p50", "p90", "p99",
+                      "max"):
+            assert field in report
+
+    def test_values(self):
+        report = summarize([2, 4, 6])
+        assert report["mean"] == pytest.approx(4.0)
+        assert report["min"] == 2
+        assert report["max"] == 6
+        assert report["n"] == 3
+
+    def test_std_population(self):
+        report = summarize([1, 3])
+        assert report["std"] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestRunningStats:
+    def test_matches_batch_computation(self):
+        rng = random.Random(1)
+        values = [rng.gauss(5, 2) for _ in range(1000)]
+        running = RunningStats()
+        running.add_all(values)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert running.mean == pytest.approx(mean)
+        assert running.variance == pytest.approx(variance)
+        assert running.std == pytest.approx(math.sqrt(variance))
+        assert running.minimum == min(values)
+        assert running.maximum == max(values)
+        assert running.count == 1000
+
+    def test_empty_raises(self):
+        empty = RunningStats()
+        with pytest.raises(ValueError):
+            _ = empty.mean
+        with pytest.raises(ValueError):
+            _ = empty.variance
+        with pytest.raises(ValueError):
+            _ = empty.minimum
+
+    def test_merge_equivalent_to_union(self):
+        rng = random.Random(2)
+        first = [rng.random() for _ in range(100)]
+        second = [rng.random() * 3 for _ in range(57)]
+        a = RunningStats()
+        a.add_all(first)
+        b = RunningStats()
+        b.add_all(second)
+        merged = a.merge(b)
+        combined = RunningStats()
+        combined.add_all(first + second)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.add_all([1.0, 2.0])
+        merged = a.merge(RunningStats())
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+        merged2 = RunningStats().merge(a)
+        assert merged2.count == 2

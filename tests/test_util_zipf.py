@@ -1,0 +1,105 @@
+"""Tests for repro.util.zipf."""
+
+import random
+
+import pytest
+
+from repro.util.zipf import ZipfSampler, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert abs(sum(zipf_weights(100, 1.0)) - 1.0) < 1e-9
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert all(abs(w - 0.1) < 1e-12 for w in weights)
+
+    def test_ratio_matches_power_law(self):
+        weights = zipf_weights(10, 1.0)
+        assert weights[0] / weights[1] == pytest.approx(2.0)
+        assert weights[0] / weights[3] == pytest.approx(4.0)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+
+class TestZipfSampler:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(20, 1.0)
+        rng = random.Random(0)
+        for _ in range(500):
+            assert 0 <= sampler.sample(rng) < 20
+
+    def test_rank_zero_most_frequent(self):
+        sampler = ZipfSampler(50, 1.0)
+        rng = random.Random(1)
+        counts = [0] * 50
+        for _ in range(20000):
+            counts[sampler.sample(rng)] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > 3 * counts[10]
+
+    def test_empirical_matches_probability(self):
+        sampler = ZipfSampler(10, 1.0)
+        rng = random.Random(2)
+        draws = 50000
+        hits = sum(1 for _ in range(draws) if sampler.sample(rng) == 0)
+        assert hits / draws == pytest.approx(sampler.probability(0),
+                                             rel=0.05)
+
+    def test_sample_many_length(self):
+        sampler = ZipfSampler(5)
+        assert len(sampler.sample_many(random.Random(0), 17)) == 17
+
+    def test_sample_many_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(5).sample_many(random.Random(0), -1)
+
+    def test_sample_distinct_all_unique(self):
+        sampler = ZipfSampler(30, 1.5)
+        ranks = sampler.sample_distinct(random.Random(3), 20)
+        assert len(ranks) == 20
+        assert len(set(ranks)) == 20
+
+    def test_sample_distinct_full_support(self):
+        sampler = ZipfSampler(8, 2.0)
+        ranks = sampler.sample_distinct(random.Random(4), 8)
+        assert sorted(ranks) == list(range(8))
+
+    def test_sample_distinct_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(3).sample_distinct(random.Random(0), 4)
+
+    def test_stream_is_unbounded(self):
+        sampler = ZipfSampler(5)
+        stream = sampler.stream(random.Random(5))
+        values = [next(stream) for _ in range(100)]
+        assert len(values) == 100
+
+    def test_expected_frequency(self):
+        sampler = ZipfSampler(10, 1.0)
+        assert sampler.expected_frequency(0, 1000) == pytest.approx(
+            sampler.probability(0) * 1000)
+
+    def test_fit_exponent_recovers_skew(self):
+        sampler = ZipfSampler(200, 1.0)
+        rng = random.Random(6)
+        counts = [0] * 200
+        for _ in range(100000):
+            counts[sampler.sample(rng)] += 1
+        fitted = ZipfSampler.fit_exponent(counts)
+        assert 0.7 < fitted < 1.3
+
+    def test_fit_exponent_needs_two_points(self):
+        with pytest.raises(ValueError):
+            ZipfSampler.fit_exponent([5])
