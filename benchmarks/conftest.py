@@ -4,9 +4,19 @@ Experiment scenarios are expensive (corpus generation + statistics phase +
 index build); they are session-scoped and shared across benchmark files.
 Every benchmark prints its result table through ``capsys.disabled()`` so
 the series appear on the terminal (and in ``bench_output.txt``).
+
+Two run modes: plain ``pytest benchmarks/`` runs in *smoke* mode (scaled
+down so each experiment finishes in seconds — CI-friendly); set
+``BENCH_FULL=1`` in the environment for full-size runs.  Benchmarks that
+track the perf trajectory persist a JSON artifact via
+:func:`write_bench_artifact` (``benchmarks/BENCH_<name>.json``).
 """
 
 from __future__ import annotations
+
+import json
+import os
+import pathlib
 
 import pytest
 
@@ -17,6 +27,32 @@ from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
 
 #: The reference scenario used by several experiments.
 BENCH_SEED = 1234
+
+#: Smoke mode (the default) shrinks workloads for sub-10s runs; export
+#: BENCH_FULL=1 for the full-size series.
+BENCH_SMOKE = os.environ.get("BENCH_FULL", "") != "1"
+
+_ARTIFACT_DIR = pathlib.Path(__file__).resolve().parent
+
+
+@pytest.fixture(scope="session")
+def bench_smoke() -> bool:
+    """True when running the scaled-down (default) benchmark mode."""
+    return BENCH_SMOKE
+
+
+def write_bench_artifact(name: str, payload: dict) -> pathlib.Path:
+    """Persist one benchmark's result dict as ``BENCH_<name>.json``.
+
+    The artifact records the run mode so trajectory tooling never mixes
+    smoke-mode numbers with full-size ones.
+    """
+    path = _ARTIFACT_DIR / f"BENCH_{name}.json"
+    document = {"name": name, "smoke": BENCH_SMOKE, "seed": BENCH_SEED}
+    document.update(payload)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 @pytest.fixture(scope="session")

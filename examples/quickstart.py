@@ -5,7 +5,10 @@ Runs the full pipeline of the paper on the built-in sample collection:
 1. create a simulated network of peers (transport + DHT + IR layers),
 2. drop documents into peers' shared directories,
 3. aggregate global statistics and build the HDK distributed index,
-4. run multi-keyword queries from any peer and inspect the traffic.
+4. run multi-keyword queries from any peer and inspect the traffic,
+5. turn on the batched + cached query engine (``batch_lookups``,
+   ``cache_bytes``, ``topk_early_stop`` in :class:`repro.AlvisConfig`)
+   and watch repeated queries stop costing traffic.
 
 Run with::
 
@@ -57,6 +60,28 @@ def main() -> None:
                          details.get("url", "?")])
         print_table("top results", ["doc", "score", "title", "url"],
                     rows)
+
+    # 5. The batched + cached query engine.  ``batch_lookups`` routes
+    #    each lattice frontier's DHT lookups in one shared round and
+    #    same-owner probes in one message; ``cache_bytes`` gives every
+    #    peer an LRU probe cache (invalidated on churn/republication);
+    #    ``topk_early_stop`` prunes lattice nodes whose score ceiling
+    #    cannot change the top-k.  Results are identical — only the
+    #    traffic shrinks.
+    engine = AlvisNetwork(
+        num_peers=8, seed=42,
+        config=AlvisConfig(batch_lookups=True, cache_bytes=64 * 1024,
+                           topk_early_stop=True))
+    engine.distribute_documents(sample_documents())
+    engine.build_index(mode="hdk")
+    origin = engine.peer_ids()[0]
+    print("\nwith the batched + cached query engine:")
+    for attempt in ("cold", "warm"):
+        _results, trace = engine.query(origin, "scalable peer retrieval")
+        print(f"  {attempt} query: {trace.request_messages} requests, "
+              f"{trace.lookup_hops} hop messages, {trace.bytes_sent} "
+              f"bytes, cache {trace.cache_hits} hits / "
+              f"{trace.cache_misses} misses")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,10 @@ architecture:
 * :mod:`repro.core.hdk` — indexing with Highly Discriminative Keys,
 * :mod:`repro.core.qdi` — Query-Driven Indexing,
 * :mod:`repro.core.lattice` — query-lattice exploration (Figure 1),
+* :mod:`repro.core.query_engine` — the batched + cached query execution
+  engine (frontier-batched lookups, per-peer probe cache, top-k early
+  termination),
+* :mod:`repro.core.cache` — the byte-budgeted LRU cache backing it,
 * :mod:`repro.core.retrieval` — the distributed retrieval component,
 * :mod:`repro.core.ranking` — result merging and distributed BM25,
 * :mod:`repro.core.peer` / :mod:`repro.core.network` — the peer client

@@ -1,0 +1,191 @@
+"""Byte-budgeted LRU caching for the query hot path.
+
+The query engine keeps, at every querying peer, a cache of probe results
+(key -> posting list or a negative "not indexed" marker).  Federated
+retrieval systems (C-DLSI and successors) show that query streams are
+Zipf-skewed, so a small per-peer cache absorbs most of the repeated
+lattice probes and their DHT lookups.
+
+Two invalidation mechanisms keep cached postings honest:
+
+* **version invalidation** — the cache carries an opaque ``version`` tag
+  (the network derives it from the ring membership epoch and a global
+  index-mutation counter); when the tag changes (churn, republication,
+  on-demand indexing) the whole cache is dropped, mirroring the wholesale
+  invalidation of the lookup cache;
+* **TTL expiry** — entries older than ``ttl`` logical ticks (one tick per
+  query executed at the caching peer) are treated as misses, bounding
+  staleness even without an invalidation signal.
+
+The capacity is a *byte* budget, not an entry count: posting lists have
+very different wire sizes and the paper's scalability argument is about
+bytes, so eviction is accounted in the same unit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+__all__ = ["CacheStats", "LRUByteCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters (wired into traces and the monitor)."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+        }
+
+
+class _Entry:
+    __slots__ = ("value", "size", "born")
+
+    def __init__(self, value: Any, size: int, born: int):
+        self.value = value
+        self.size = size
+        self.born = born
+
+
+class LRUByteCache:
+    """An LRU cache bounded by total entry bytes.
+
+    ``capacity_bytes == 0`` disables the cache entirely (every ``get`` is
+    a miss and ``put`` is a no-op), so callers need no separate flag.
+    ``ttl == 0`` disables logical-time expiry.
+    """
+
+    def __init__(self, capacity_bytes: int, ttl: int = 0):
+        if capacity_bytes < 0:
+            raise ValueError(
+                f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        if ttl < 0:
+            raise ValueError(f"ttl must be >= 0, got {ttl}")
+        self.capacity_bytes = capacity_bytes
+        self.ttl = ttl
+        self.stats = CacheStats()
+        #: Opaque validity tag managed by the owner (e.g. the network's
+        #: (membership epoch, index version) pair); ``None`` until set.
+        self.version: Optional[Hashable] = None
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._used_bytes = 0
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity_bytes > 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance logical time by one unit (one query at the owner)."""
+        self._clock += 1
+
+    def ensure_version(self, version: Hashable) -> bool:
+        """Drop everything if the validity tag changed.
+
+        Returns True when an invalidation happened.  The first call just
+        adopts the tag (an empty cache has nothing stale to drop).
+        """
+        if self.version == version:
+            return False
+        first = self.version is None
+        self.version = version
+        if first or not self._entries:
+            return False
+        self.invalidate_all()
+        return True
+
+    def invalidate_all(self) -> None:
+        """Drop every entry (churn / republication invalidation)."""
+        if self._entries:
+            self.stats.invalidations += 1
+        self._entries.clear()
+        self._used_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; expired entries count as misses."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return False, None
+        if self.ttl and self._clock - entry.born >= self.ttl:
+            self._drop(key, entry)
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return False, None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return True, entry.value
+
+    def put(self, key: Hashable, value: Any, size: int) -> bool:
+        """Insert ``value`` under ``key``; evicts LRU entries to fit.
+
+        Returns False when the cache is disabled or the entry alone
+        exceeds the byte budget — and then caches nothing under ``key``:
+        a previous value is dropped rather than left to be served as a
+        stale hit for a key the caller just tried to overwrite.
+        """
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._used_bytes -= old.size
+        if not self.enabled or size > self.capacity_bytes:
+            return False
+        while self._entries and \
+                self._used_bytes + size > self.capacity_bytes:
+            victim_key, victim = self._entries.popitem(last=False)
+            self._used_bytes -= victim.size
+            self.stats.evictions += 1
+        self._entries[key] = _Entry(value, size, self._clock)
+        self._used_bytes += size
+        self.stats.insertions += 1
+        return True
+
+    def _drop(self, key: Hashable, entry: _Entry) -> None:
+        del self._entries[key]
+        self._used_bytes -= entry.size
+
+    def __repr__(self) -> str:
+        return (f"LRUByteCache({len(self._entries)} entries, "
+                f"{self._used_bytes}/{self.capacity_bytes}B, "
+                f"hits={self.stats.hits}, misses={self.stats.misses})")

@@ -99,6 +99,46 @@ class AlvisConfig:
     #: Bound on cached resolutions per peer.
     lookup_cache_size: int = 4096
 
+    # ------------------------------------------------------------------
+    # Query engine (batched + cached execution)
+    # ------------------------------------------------------------------
+
+    #: Byte budget of the per-peer probe-result cache (key -> posting
+    #: list, LRU with byte-accounted eviction).  0 disables caching.
+    #: Cached entries are invalidated wholesale on churn and index
+    #: republication (the network's index version tag), and individually
+    #: expired after ``cache_ttl`` queries; on a Zipf-skewed query stream
+    #: a modest budget absorbs most repeated lattice probes together
+    #: with their DHT lookups.  Ignored in QDI mode, whose popularity
+    #: monitoring requires responsible peers to see every probe.  Off by
+    #: default so traffic measurements reflect the paper's cold query
+    #: path.
+    cache_bytes: int = 0
+
+    #: Logical TTL of cached probe results, measured in queries executed
+    #: at the caching peer (0 = no expiry).  A backstop bound on
+    #: staleness for deployments where invalidation signals can be
+    #: missed; version invalidation on churn/republication stays active
+    #: either way.
+    cache_ttl: int = 0
+
+    #: Batch the probes of one lattice frontier: all DHT lookups of a
+    #: level travel in one shared routed round (``DHTRing.lookup_many``)
+    #: and probes to the same responsible peer share one ``ProbeBatch``
+    #: message.  Resolved owners, probe outcomes and ranking are
+    #: identical to the per-probe path; only message counts (and their
+    #: header bytes) shrink.  Off by default for seed-comparable traces.
+    batch_lookups: bool = False
+
+    #: Stop lattice exploration early once the BM25 score ceiling of the
+    #: still-unprobed keys cannot lift any document into the current
+    #: top-``result_k`` (Akbarinia-style threshold termination).  The
+    #: ceiling combines cached global dfs with the dfs learned from
+    #: retrieved keys, so the stop is conservative; it is an
+    #: approximation nonetheless (skipped probes can no longer adjust
+    #: scores of already-ranked documents) and therefore off by default.
+    topk_early_stop: bool = False
+
     #: Perform the second "refinement" step: forward the query to the
     #: local engines of peers holding the first-step results.
     refine_with_local_engines: bool = False
@@ -140,6 +180,10 @@ class AlvisConfig:
             raise ValueError("refine_pool_factor must be >= 1")
         if self.lookup_cache_size < 1:
             raise ValueError("lookup_cache_size must be >= 1")
+        if self.cache_bytes < 0:
+            raise ValueError("cache_bytes must be >= 0")
+        if self.cache_ttl < 0:
+            raise ValueError("cache_ttl must be >= 0")
 
     def with_overrides(self, **kwargs) -> "AlvisConfig":
         """Return a copy with the given fields replaced (sweep helper)."""

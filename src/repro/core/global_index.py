@@ -15,7 +15,7 @@ and supports key-range extraction for churn handover.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import AbstractSet, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.keys import Key
 from repro.dht.idspace import clockwise_distance
@@ -138,23 +138,39 @@ class GlobalIndexFragment:
         entry.popularity += weight
         return entry.popularity
 
-    def decay_popularity(self, factor: float) -> None:
-        """Multiply every popularity counter by ``factor``."""
+    def decay_popularity(self, factor: float,
+                         protect: Optional[AbstractSet[Key]] = None) -> None:
+        """Multiply every popularity counter by ``factor``.
+
+        Keys in ``protect`` keep their popularity unchanged this round.
+        A maintenance round is record→decay→evict: feedback recorded
+        *since the last round* must not be halved (and then possibly
+        evicted) by the very round it arrived in, so the caller passes
+        the keys it bumped as the protect set (see
+        :meth:`repro.core.qdi.QDIManager.run_maintenance`).
+        """
         if not 0 <= factor <= 1:
             raise ValueError(f"factor must be in [0, 1], got {factor}")
-        for entry in self._entries.values():
+        for key, entry in self._entries.items():
+            if protect is not None and key in protect:
+                continue
             entry.popularity *= factor
 
-    def evict_below(self, threshold: float) -> List[Key]:
+    def evict_below(self, threshold: float,
+                    protect: Optional[AbstractSet[Key]] = None) -> List[Key]:
         """Drop evictable entries with popularity below ``threshold``.
 
         Only on-demand (QDI-created) multi-term keys and empty shadow
         entries are evictable; single-term entries and HDK keys stay (they
-        are the index's backbone).  Returns the evicted keys.
+        are the index's backbone).  Keys in ``protect`` — bumped since the
+        last maintenance round — are never evicted in this round, however
+        low their counter.  Returns the evicted keys.
         """
         victims = []
         for key, entry in self._entries.items():
             if entry.popularity >= threshold:
+                continue
+            if protect is not None and key in protect:
                 continue
             is_shadow = not entry.postings and not entry.contributors
             if is_shadow or (entry.on_demand and len(key) > 1):

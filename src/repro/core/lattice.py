@@ -17,14 +17,25 @@ balance (experiments E1 and E6).
 
 The explorer is pure: probing is delegated to a callback, so the same
 algorithm is unit-testable offline and drives real network probes in
-:mod:`repro.core.retrieval`.
+:mod:`repro.core.retrieval`.  Two extensions serve the batched/cached
+query engine (:mod:`repro.core.query_engine`):
+
+* a *level* probe callback (``probe_level``) receives every unexcluded
+  key of one lattice level at once, so the caller can batch the frontier's
+  DHT lookups and probe requests — semantically identical to sequential
+  probing because domination-based exclusions only ever affect strictly
+  smaller keys (later levels);
+* an early-termination hook (``should_stop``), consulted between levels
+  with the keys still to be probed; when it fires, the remaining lattice
+  is recorded as :attr:`ProbeStatus.PRUNED` without any network traffic
+  (top-k threshold termination à la Akbarinia et al.).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.keys import Key
 from repro.ir.postings import PostingList
@@ -35,6 +46,15 @@ __all__ = ["ProbeStatus", "ProbeRecord", "ExplorationOutcome",
 #: The probe callback: Key -> (found, posting list or None).
 ProbeFn = Callable[[Key], Tuple[bool, Optional[PostingList]]]
 
+#: The batched probe callback: one lattice level's unexcluded keys ->
+#: per-key (found, posting list or None), in the same order.
+ProbeLevelFn = Callable[[List[Key]],
+                        Sequence[Tuple[bool, Optional[PostingList]]]]
+
+#: Early-termination hook: (outcome so far, keys still to be probed) ->
+#: True to prune the rest of the lattice.
+StopFn = Callable[["ExplorationOutcome", List[Key]], bool]
+
 
 class ProbeStatus(enum.Enum):
     """What happened at one lattice node (the legend of Figure 1)."""
@@ -43,6 +63,7 @@ class ProbeStatus(enum.Enum):
     TRUNCATED = "truncated"       #: indexed, truncated list retrieved
     MISSING = "missing"           #: probed but not in the global index
     SKIPPED = "skipped"           #: excluded by a dominating key
+    PRUNED = "pruned"             #: cut off by top-k early termination
 
 
 @dataclass
@@ -75,14 +96,22 @@ class ExplorationOutcome:
 
     @property
     def probed_count(self) -> int:
-        """Nodes that caused a network probe (everything but SKIPPED)."""
+        """Nodes that caused a network probe (neither skipped nor
+        pruned)."""
         return sum(1 for record in self.records
-                   if record.status != ProbeStatus.SKIPPED)
+                   if record.status not in (ProbeStatus.SKIPPED,
+                                            ProbeStatus.PRUNED))
 
     @property
     def skipped_count(self) -> int:
         return sum(1 for record in self.records
                    if record.status == ProbeStatus.SKIPPED)
+
+    @property
+    def pruned_count(self) -> int:
+        """Nodes cut off by top-k early termination."""
+        return sum(1 for record in self.records
+                   if record.status == ProbeStatus.PRUNED)
 
     def missing_keys(self) -> List[Key]:
         """Probed-but-absent combinations (QDI's indexing candidates)."""
@@ -114,36 +143,104 @@ class LatticeExplorer:
         self.max_lattice_terms = max_lattice_terms
 
     def explore(self, query_terms: Iterable[str],
-                probe: ProbeFn) -> ExplorationOutcome:
-        """Explore the lattice of ``query_terms``, probing via ``probe``.
+                probe: Optional[ProbeFn] = None,
+                probe_level: Optional[ProbeLevelFn] = None,
+                should_stop: Optional[StopFn] = None
+                ) -> ExplorationOutcome:
+        """Explore the lattice of ``query_terms``.
+
+        Exactly one of ``probe`` (per-key, the compatibility path) and
+        ``probe_level`` (per-frontier, the batched path) must be given;
+        both yield identical outcomes for the same underlying index.
+        ``should_stop`` is consulted after every level and terminates the
+        exploration when it returns True, marking all remaining
+        unexcluded keys :attr:`ProbeStatus.PRUNED`.
 
         Returns the full exploration record, in the deterministic order in
         which nodes were visited (by decreasing size, then term order).
         """
+        if (probe is None) == (probe_level is None):
+            raise ValueError(
+                "exactly one of probe and probe_level is required")
         terms = list(dict.fromkeys(query_terms))[: self.max_lattice_terms]
         if not terms:
             raise ValueError("query has no terms")
         query = Key(terms)
         outcome = ExplorationOutcome(query=query)
         excluded: set = set()
-        for level in Key.lattice_levels(terms):
-            for key in level:
-                if key in excluded:
-                    outcome.records.append(
-                        ProbeRecord(key, ProbeStatus.SKIPPED))
-                    continue
-                found, postings = probe(key)
-                if not found or postings is None:
-                    outcome.records.append(
-                        ProbeRecord(key, ProbeStatus.MISSING))
-                    continue
-                if postings.truncated:
-                    outcome.records.append(
-                        ProbeRecord(key, ProbeStatus.TRUNCATED, postings))
-                    if self.prune_on_truncated:
-                        excluded.update(key.proper_subsets())
-                else:
-                    outcome.records.append(
-                        ProbeRecord(key, ProbeStatus.UNTRUNCATED, postings))
-                    excluded.update(key.proper_subsets())
+        levels = Key.lattice_levels(terms)
+        for depth, level in enumerate(levels):
+            if probe is not None:
+                self._explore_level_sequential(level, probe, outcome,
+                                               excluded)
+            else:
+                assert probe_level is not None
+                self._explore_level_batched(level, probe_level, outcome,
+                                            excluded)
+            if should_stop is None:
+                continue
+            remaining = [key
+                         for later in levels[depth + 1:]
+                         for key in later
+                         if key not in excluded]
+            if remaining and should_stop(outcome, remaining):
+                for later in levels[depth + 1:]:
+                    for key in later:
+                        status = (ProbeStatus.SKIPPED
+                                  if key in excluded
+                                  else ProbeStatus.PRUNED)
+                        outcome.records.append(ProbeRecord(key, status))
+                break
         return outcome
+
+    # ------------------------------------------------------------------
+
+    def _record_result(self, key: Key, found: bool,
+                       postings: Optional[PostingList],
+                       outcome: ExplorationOutcome,
+                       excluded: set) -> ProbeRecord:
+        """Classify one probe result and update the exclusion set."""
+        if not found or postings is None:
+            record = ProbeRecord(key, ProbeStatus.MISSING)
+        elif postings.truncated:
+            record = ProbeRecord(key, ProbeStatus.TRUNCATED, postings)
+            if self.prune_on_truncated:
+                excluded.update(key.proper_subsets())
+        else:
+            record = ProbeRecord(key, ProbeStatus.UNTRUNCATED, postings)
+            excluded.update(key.proper_subsets())
+        outcome.records.append(record)
+        return record
+
+    def _explore_level_sequential(self, level: List[Key], probe: ProbeFn,
+                                  outcome: ExplorationOutcome,
+                                  excluded: set) -> None:
+        for key in level:
+            if key in excluded:
+                outcome.records.append(
+                    ProbeRecord(key, ProbeStatus.SKIPPED))
+                continue
+            found, postings = probe(key)
+            self._record_result(key, found, postings, outcome, excluded)
+
+    def _explore_level_batched(self, level: List[Key],
+                               probe_level: ProbeLevelFn,
+                               outcome: ExplorationOutcome,
+                               excluded: set) -> None:
+        # Exclusions only ever cover *strictly smaller* keys, so results
+        # from this level cannot exclude its own siblings — probing the
+        # whole frontier at once is equivalent to probing it in order.
+        frontier = [key for key in level if key not in excluded]
+        results = probe_level(frontier) if frontier else []
+        if len(results) != len(frontier):
+            raise ValueError(
+                f"probe_level returned {len(results)} results for "
+                f"{len(frontier)} keys")
+        by_key = dict(zip(frontier, results))
+        for key in level:
+            if key not in by_key:
+                outcome.records.append(
+                    ProbeRecord(key, ProbeStatus.SKIPPED))
+                continue
+            found, postings = by_key[key]
+            self._record_result(key, found, postings, outcome, excluded)

@@ -13,6 +13,15 @@ peer population, and the orchestration of the global phases:
 
 This is the class the examples and benchmarks drive; see
 ``examples/quickstart.py`` for the canonical usage.
+
+RNG discipline: every stochastic subsystem draws from its own
+``make_rng(seed, label)`` stream ("latency" for the transport, "peer-ids"
+for identifier placement, "churn"/"churn-N" per churn process) and no
+module-level ``random`` state is ever touched.  Deterministic features
+that change *how much* traffic flows — probe caching, frontier batching,
+early termination — therefore cannot perturb churn decisions or any other
+subsystem's random sequence under a fixed seed
+(``tests/test_core_network.py`` asserts this trace equality).
 """
 
 from __future__ import annotations
@@ -95,6 +104,14 @@ class AlvisNetwork:
         self._statistics_done = False
         #: origin peer -> (membership epoch, {key_id: owner}).
         self._lookup_caches: Dict[int, Tuple[int, Dict[int, int]]] = {}
+        #: Bumped on every global-index mutation (publish, retract,
+        #: handover, on-demand indexing); probe caches pair it with the
+        #: ring's membership epoch as their validity tag.
+        self.index_version = 0
+        #: Churn processes handed out so far — each gets its own derived
+        #: RNG stream, so a second process never replays the first one's
+        #: join/leave sequence.
+        self._churn_streams = 0
 
     # ------------------------------------------------------------------
     # Membership
@@ -156,11 +173,7 @@ class AlvisNetwork:
         ring membership change via the ring's membership epoch.
         """
         if self.config.cache_lookups:
-            epoch, cache = self._lookup_caches.get(origin, (-1, None))
-            if epoch != self.ring.membership_epoch or cache is None:
-                cache = {}
-                self._lookup_caches[origin] = (
-                    self.ring.membership_epoch, cache)
+            cache = self._fresh_lookup_cache(origin)
             cached_owner = cache.get(key_id)
             if cached_owner is not None:
                 return cached_owner, 0
@@ -173,6 +186,59 @@ class AlvisNetwork:
         result = self.ring.lookup(origin, key_id,
                                   account=self.account_lookups)
         return self.peer_of_ring_node(result.owner), result.hops
+
+    def _fresh_lookup_cache(self, origin: int) -> Dict[int, int]:
+        """The origin's key->owner cache, reset on membership change."""
+        epoch, cache = self._lookup_caches.get(origin, (-1, None))
+        if epoch != self.ring.membership_epoch or cache is None:
+            cache = {}
+            self._lookup_caches[origin] = (self.ring.membership_epoch,
+                                           cache)
+        return cache
+
+    def lookup_owners(self, origin: int,
+                      key_ids: Sequence[int]) -> Tuple[Dict[int, int], int]:
+        """Resolve the responsible peers for a *batch* of keys.
+
+        All keys of the batch are routed in one shared round
+        (:meth:`~repro.dht.ring.DHTRing.lookup_many`): keys taking the
+        same hop share one ``LookupHop`` message, so the returned message
+        count — the amortized hop cost — is typically far below the sum
+        of the individual hop counts.  Honors ``config.cache_lookups``
+        exactly like :meth:`lookup_owner`.  Returns ``({key_id: owner
+        peer}, routed hop messages)``.
+        """
+        unique = list(dict.fromkeys(key_ids))
+        owners: Dict[int, int] = {}
+        cache: Optional[Dict[int, int]] = None
+        if self.config.cache_lookups:
+            cache = self._fresh_lookup_cache(origin)
+            for key_id in unique:
+                cached_owner = cache.get(key_id)
+                if cached_owner is not None:
+                    owners[key_id] = cached_owner
+        misses = [key_id for key_id in unique if key_id not in owners]
+        messages = 0
+        if misses:
+            result = self.ring.lookup_many(origin, misses,
+                                           account=self.account_lookups)
+            messages = result.messages
+            for key_id in misses:
+                owner = self.peer_of_ring_node(result.owners[key_id])
+                owners[key_id] = owner
+                if cache is not None and \
+                        len(cache) < self.config.lookup_cache_size:
+                    cache[key_id] = owner
+        return owners, messages
+
+    def note_index_update(self) -> None:
+        """Record a global-index mutation.
+
+        Advances the version tag that probe caches pair with the ring's
+        membership epoch, so every peer's cached postings for the old
+        index state are dropped lazily on its next query.
+        """
+        self.index_version += 1
 
     def send(self, origin: int, dst: int, kind: str,
              payload: Dict[str, Any]
@@ -321,6 +387,7 @@ class AlvisNetwork:
         else:
             raise ValueError(f"unknown index mode {mode!r}")
         self.mode = mode
+        self.note_index_update()
         return stats
 
     def publish_incremental(self, peer_id: int, document: Document,
@@ -332,6 +399,7 @@ class AlvisNetwork:
         steady-state "index some new documents" flow of the demo.
         """
         doc_id = self.publish_documents(peer_id, [document], policy)[0]
+        self.note_index_update()
         peer = self.peer(peer_id)
         terms = sorted(set(self.analyzer.analyze(document.text)))
         for owner, batch in self._batch_by_owner(
@@ -368,6 +436,7 @@ class AlvisNetwork:
         terms = sorted(set(self.analyzer.analyze(document.text)))
         peer.unpublish_document(doc_id)
         self._doc_owner.pop(doc_id, None)
+        self.note_index_update()
         for owner, batch in self._batch_by_owner(
                 peer_id, {term: -1 for term in terms}).items():
             self.send(peer_id, owner, protocol.DF_PUBLISH,
@@ -420,7 +489,13 @@ class AlvisNetwork:
         if self.virtual_nodes > 1:
             raise NotImplementedError(
                 "churn is not supported with virtual_nodes > 1")
-        return ChurnProcess(self.ring, make_rng(self.seed, "churn"),
+        stream = self._churn_streams
+        self._churn_streams += 1
+        # The first process keeps the historical "churn" label (seed
+        # compatibility); later ones get distinct derived streams instead
+        # of replaying the same join/leave sequence.
+        labels = ("churn",) if stream == 0 else ("churn", stream)
+        return ChurnProcess(self.ring, make_rng(self.seed, *labels),
                             on_handover=self._handover)
 
     def fail_peer(self, peer_id: int) -> None:
@@ -443,10 +518,12 @@ class AlvisNetwork:
         self.ring.rebuild_tables()
         self.transport.unregister(peer_id)
         del self._peers[peer_id]
+        self.note_index_update()
 
     def _handover(self, from_peer: int, to_peer: int,
                   range_lo: int, range_hi: int) -> None:
         """Move the index entries of a key range between peers."""
+        self.note_index_update()
         if from_peer == to_peer:
             return
         source = self._peers.get(from_peer)

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core import protocol
 from repro.core.access import AccessControlError, AccessManager, AccessPolicy
+from repro.core.cache import LRUByteCache
 from repro.core.config import AlvisConfig
 from repro.core.global_index import GlobalIndexFragment, KeyEntry
 from repro.core.global_stats import GlobalStatsCache, StatsStore
@@ -48,6 +49,10 @@ class AlvisPeer:
         self.access = AccessManager()
         self.qdi: Optional[QDIManager] = None
         self.services: Optional[NetworkServices] = None
+        #: Probe-result cache for queries *issued by* this peer (the
+        #: query engine's L3/L4 cache); disabled when ``cache_bytes`` is 0.
+        self.probe_cache = LRUByteCache(config.cache_bytes,
+                                        ttl=config.cache_ttl)
         #: Keys this peer was told to expand in the next HDK round.
         self.pending_expansions: List[Key] = []
         #: Replicas of other peers' entries (crash fault tolerance);
@@ -62,6 +67,7 @@ class AlvisPeer:
             protocol.PUBLISH_KEY: self._on_publish_key,
             protocol.EXPAND_NOTIFY: self._on_expand_notify,
             protocol.PROBE_KEY: self._on_probe_key,
+            protocol.PROBE_BATCH: self._on_probe_batch,
             protocol.FEEDBACK: self._on_feedback,
             protocol.CONTRIBUTORS_GET: self._on_contributors_get,
             protocol.HARVEST_KEY: self._on_harvest_key,
@@ -179,19 +185,36 @@ class AlvisPeer:
 
     # -- retrieval ----------------------------------------------------------
 
-    def _on_probe_key(self, message: Message) -> Optional[Message]:
-        key = Key(message.payload["key_terms"])
+    def _probe_entry(self, key: Key) -> Tuple[bool, Optional[PostingList]]:
+        """Resolve one lattice probe against this peer's fragment.
+
+        Shared by the single-probe and batched-probe handlers so QDI's
+        per-key monitoring sees every probe either way.
+        """
         entry = self.fragment.get(key)
         found = entry is not None and (bool(entry.postings)
                                        or bool(entry.contributors))
         if self.qdi is not None:
             self.qdi.on_probe(key, found)
         if not found:
-            return message.reply(protocol.PROBE_REPLY,
-                                 {"found": False, "postings": None})
+            return False, None
         assert entry is not None
+        return True, entry.postings
+
+    def _on_probe_key(self, message: Message) -> Optional[Message]:
+        found, postings = self._probe_entry(Key(message.payload["key_terms"]))
         return message.reply(protocol.PROBE_REPLY,
-                             {"found": True, "postings": entry.postings})
+                             {"found": found, "postings": postings})
+
+    def _on_probe_batch(self, message: Message) -> Optional[Message]:
+        """All of one lattice frontier's probes owned by this peer, in
+        a single message (the query engine's batched round)."""
+        results = []
+        for key_terms in message.payload["keys"]:
+            found, postings = self._probe_entry(Key(key_terms))
+            results.append({"found": found, "postings": postings})
+        return message.reply(protocol.PROBE_BATCH_REPLY,
+                             {"results": results})
 
     def _on_feedback(self, message: Message) -> Optional[Message]:
         if self.qdi is not None:

@@ -21,6 +21,8 @@ __all__ = [
     "EXPAND_NOTIFY",
     "PROBE_KEY",
     "PROBE_REPLY",
+    "PROBE_BATCH",
+    "PROBE_BATCH_REPLY",
     "FEEDBACK",
     "CONTRIBUTORS_GET",
     "CONTRIBUTORS_REPLY",
@@ -55,6 +57,8 @@ EXPAND_NOTIFY = "ExpandNotify"      #: responsible -> contributors (HDK)
 # Retrieval -------------------------------------------------------------
 PROBE_KEY = "ProbeKey"              #: lattice probe
 PROBE_REPLY = "ProbeReply"
+PROBE_BATCH = "ProbeBatch"          #: all of a frontier's probes for one owner
+PROBE_BATCH_REPLY = "ProbeBatchReply"
 FEEDBACK = "PopularityFeedback"     #: query peer -> key owners (QDI)
 
 # On-demand indexing (QDI) ----------------------------------------------
@@ -81,5 +85,6 @@ INDEXING_KINDS = (DF_PUBLISH, DF_GET, DF_REPLY, COLLECTION_PUBLISH,
                   PUBLISH_ACK, EXPAND_NOTIFY, CONTRIBUTORS_GET,
                   CONTRIBUTORS_REPLY, HARVEST_KEY, HARVEST_REPLY,
                   RETRACT_DOC)
-RETRIEVAL_KINDS = (PROBE_KEY, PROBE_REPLY, FEEDBACK, REFINE_QUERY,
+RETRIEVAL_KINDS = (PROBE_KEY, PROBE_REPLY, PROBE_BATCH,
+                   PROBE_BATCH_REPLY, FEEDBACK, REFINE_QUERY,
                    REFINE_REPLY, LOOKUP_HOP)

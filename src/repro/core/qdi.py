@@ -36,7 +36,7 @@ property the demo paper claims.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.core import protocol
 from repro.core.config import AlvisConfig
@@ -78,6 +78,10 @@ class QDIManager:
         self.config = config
         self.stats = QDIStats()
         self._probes_since_maintenance = 0
+        #: Keys whose popularity was recorded since the last maintenance
+        #: round; protected from that round's decay and eviction so
+        #: same-round feedback can never be wiped out by maintenance.
+        self._bumped_since_maintenance: Set[Key] = set()
 
     # ------------------------------------------------------------------
     # Monitoring hooks (called from the peer's message handlers)
@@ -87,6 +91,7 @@ class QDIManager:
         """A remote peer probed ``key`` at this (responsible) peer."""
         self.stats.probes_seen += 1
         self.peer.fragment.record_popularity(key)
+        self._bumped_since_maintenance.add(key)
         self._probes_since_maintenance += 1
         if self._probes_since_maintenance >= \
                 self.config.qdi_maintenance_interval:
@@ -103,6 +108,7 @@ class QDIManager:
             self.stats.redundant_suppressed += 1
             return
         popularity = self.peer.fragment.record_popularity(key)
+        self._bumped_since_maintenance.add(key)
         entry = self.peer.fragment.get(key)
         already_indexed = entry is not None and bool(entry.postings)
         if (len(key) > 1 and not already_indexed
@@ -159,6 +165,7 @@ class QDIManager:
         )
         self.peer.fragment.install(entry)
         self.stats.activations += 1
+        self._note_index_update()
         return entry
 
     def _rarest_term(self, key: Key) -> str:
@@ -188,10 +195,31 @@ class QDIManager:
     # ------------------------------------------------------------------
 
     def run_maintenance(self) -> List[Key]:
-        """Decay popularity and evict obsolete keys; returns evictions."""
+        """Decay popularity and evict obsolete keys; returns evictions.
+
+        The ordering contract is explicit: popularity *recorded* since
+        the last round is settled first — those keys are handed to decay
+        and eviction as a protect set, so a combination that just
+        received feedback is neither halved nor dropped by the very
+        round its feedback arrived in.  From the next round on it ages
+        normally.
+        """
         self._probes_since_maintenance = 0
+        protect = self._bumped_since_maintenance
+        self._bumped_since_maintenance = set()
         fragment: GlobalIndexFragment = self.peer.fragment
-        fragment.decay_popularity(self.config.qdi_decay)
-        evicted = fragment.evict_below(self.config.qdi_eviction_threshold)
+        fragment.decay_popularity(self.config.qdi_decay, protect=protect)
+        evicted = fragment.evict_below(self.config.qdi_eviction_threshold,
+                                       protect=protect)
         self.stats.evictions += len(evicted)
+        if evicted:
+            # Evicted keys change probe outcomes; stale cached postings
+            # at querying peers must not outlive them.
+            self._note_index_update()
         return evicted
+
+    def _note_index_update(self) -> None:
+        """Tell the network the global index changed (cache validity)."""
+        notify = getattr(self.peer.services, "note_index_update", None)
+        if notify is not None:
+            notify()

@@ -27,7 +27,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 from repro.core.keys import Key
 from repro.ir.postings import PostingList
 
-__all__ = ["RankedDocument", "merge_and_rank"]
+__all__ = ["RankedDocument", "merge_and_rank", "rank_with_margin"]
 
 
 @dataclass
@@ -56,7 +56,36 @@ def merge_and_rank(retrieved: Mapping[Key, PostingList],
     counted for that document.  Documents are then ranked by combined
     score (ties broken by doc id for determinism) and the top ``k``
     returned.
+
+    For the query engine's top-k early termination, use
+    :func:`rank_with_margin`, which additionally exposes the threshold
+    scores the termination test needs.
     """
+    return _rank_all(retrieved, k)[:k]
+
+
+def rank_with_margin(retrieved: Mapping[Key, PostingList],
+                     query: Key, k: int
+                     ) -> Tuple[List[RankedDocument], float, float]:
+    """Rank like :func:`merge_and_rank`, exposing the top-k margin.
+
+    Returns ``(top_k, kth_score, runner_up_score)`` where ``kth_score``
+    is the score of the k-th ranked document (0.0 when fewer than ``k``
+    candidates exist) and ``runner_up_score`` is the best score *outside*
+    the top k (0.0 when none).  Early termination is sound when no
+    unprobed key can lift a runner-up (or an unseen document, whose
+    current score is 0) above ``kth_score``.
+    """
+    ranked = _rank_all(retrieved, k)
+    top = ranked[:k]
+    kth = top[-1].score if len(top) == k else 0.0
+    runner_up = ranked[k].score if len(ranked) > k else 0.0
+    return top, kth, runner_up
+
+
+def _rank_all(retrieved: Mapping[Key, PostingList],
+              k: int) -> List[RankedDocument]:
+    """The full greedy-disjoint-cover ranking, all candidates sorted."""
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     per_document: Dict[int, List[Tuple[float, Key]]] = {}
@@ -82,4 +111,4 @@ def merge_and_rank(retrieved: Mapping[Key, PostingList],
         ranked.append(RankedDocument(doc_id=doc_id, score=total,
                                      covering_keys=tuple(chosen)))
     ranked.sort(key=lambda document: (-document.score, document.doc_id))
-    return ranked[:k]
+    return ranked

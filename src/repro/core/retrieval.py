@@ -1,9 +1,14 @@
 """The distributed retrieval component (L3/L4 query path).
 
-Drives the query-lattice exploration over the real network: every lattice
-probe is a DHT lookup plus a ``ProbeKey`` request to the responsible peer,
-with all traffic byte-accounted.  After exploration the retrieved lists
-are merged and ranked (:mod:`repro.core.ranking`); optionally the query is
+Drives the query-lattice exploration over the real network through the
+batched + cached :class:`~repro.core.query_engine.QueryEngine`: in the
+compatibility configuration every lattice probe is a DHT lookup plus a
+``ProbeKey`` request to the responsible peer; with ``batch_lookups`` the
+lookups of each lattice frontier share one routed round and same-owner
+probes share one ``ProbeBatch`` message, and with ``cache_bytes`` a
+per-peer LRU absorbs repeated probes entirely.  All traffic is
+byte-accounted either way.  After exploration the retrieved lists are
+merged and ranked (:mod:`repro.core.ranking`); optionally the query is
 then *refined* by the local engines of the peers holding the candidate
 documents — the paper's two-step retrieval (Section 3).
 
@@ -23,8 +28,8 @@ from repro.core.lattice import (
     LatticeExplorer,
     ProbeStatus,
 )
+from repro.core.query_engine import QueryEngine
 from repro.core.ranking import RankedDocument, merge_and_rank
-from repro.ir.postings import PostingList
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.network import AlvisNetwork
@@ -34,7 +39,23 @@ __all__ = ["QueryTrace", "RetrievalComponent"]
 
 @dataclass
 class QueryTrace:
-    """Everything measured about one query (the unit of experiment E2)."""
+    """Everything measured about one query (the unit of experiment E2).
+
+    Accounting invariants (audited by ``tests/test_core_retrieval_trace``):
+
+    * ``bytes_sent`` equals the sum of ``bytes_by_kind`` — both are
+      deltas of the same transport counters over the query window;
+    * skipped, pruned and cache-served lattice nodes cause no probe
+      traffic: only ``probed_count`` minus the cache hits ever turns
+      into ``ProbeKey``/``ProbeBatch`` bytes;
+    * ``request_messages`` counts logical requests issued by the querying
+      peer, including self-addressed ones (which short-circuit in memory
+      and contribute zero bytes — so it can exceed the transport's
+      message count, never the reverse);
+    * ``lookup_hops`` counts routed ``LookupHop`` messages; under
+      ``batch_lookups`` keys sharing a hop share a message, so the count
+      is the amortized (billed) hop cost of the query.
+    """
 
     query: Key
     origin: int
@@ -46,17 +67,32 @@ class QueryTrace:
     bytes_by_kind: Dict[str, int] = field(default_factory=dict)
     rtt_estimate: float = 0.0
     refined: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
     results: List[RankedDocument] = field(default_factory=list)
 
     @property
     def probed_count(self) -> int:
         return sum(1 for _key, status in self.probes
-                   if status != ProbeStatus.SKIPPED)
+                   if status not in (ProbeStatus.SKIPPED,
+                                     ProbeStatus.PRUNED))
 
     @property
     def skipped_count(self) -> int:
         return sum(1 for _key, status in self.probes
                    if status == ProbeStatus.SKIPPED)
+
+    @property
+    def pruned_count(self) -> int:
+        """Lattice nodes cut off by top-k early termination."""
+        return sum(1 for _key, status in self.probes
+                   if status == ProbeStatus.PRUNED)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of lattice probes served from the origin's cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def summary(self) -> Dict[str, float]:
         """Flat dict for benchmark tables."""
@@ -64,9 +100,12 @@ class QueryTrace:
             "terms": float(len(self.query)),
             "probed": float(self.probed_count),
             "skipped": float(self.skipped_count),
+            "pruned": float(self.pruned_count),
             "hops": float(self.lookup_hops),
             "messages": float(self.request_messages),
             "bytes": float(self.bytes_sent),
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
             "results": float(len(self.results)),
         }
 
@@ -76,8 +115,12 @@ class RetrievalComponent:
 
     def __init__(self, network: "AlvisNetwork"):
         self.network = network
-        self.explorer = LatticeExplorer(
-            prune_on_truncated=network.config.prune_on_truncated)
+        self.engine = QueryEngine(network)
+
+    @property
+    def explorer(self) -> LatticeExplorer:
+        """Compatibility alias — the engine owns the explorer."""
+        return self.engine.explorer
 
     # ------------------------------------------------------------------
 
@@ -99,35 +142,6 @@ class RetrievalComponent:
         trace = QueryTrace(query=Key(terms), origin=origin)
         bytes_before = network.bytes_sent_total()
         kinds_before = network.bytes_by_kind()
-        owners: Dict[Key, int] = {}
-        probe_rtts: Dict[int, List[float]] = {}
-
-        def probe(key: Key) -> Tuple[bool, Optional[PostingList]]:
-            owner, hops = network.lookup_owner(origin, key.key_id)
-            owners[key] = owner
-            trace.lookup_hops += hops
-            payload = {"key_terms": list(key.terms)}
-            reply, rtt = network.send(origin, owner, protocol.PROBE_KEY,
-                                      payload)
-            trace.request_messages += 1
-            probe_rtts.setdefault(len(key), []).append(rtt)
-            if reply is None or not reply["found"]:
-                return False, None
-            return True, reply["postings"]
-
-        outcome = self.explorer.explore(terms, probe)
-        # Latency: probes within one lattice level run concurrently in
-        # the deployed client, so a level costs its slowest probe.
-        if network.config.parallel_probes:
-            trace.rtt_estimate += sum(max(rtts)
-                                      for rtts in probe_rtts.values())
-        else:
-            trace.rtt_estimate += sum(rtt for rtts in probe_rtts.values()
-                                      for rtt in rtts)
-        trace.probes = [(record.key, record.status)
-                        for record in outcome.records]
-        if network.mode == "qdi":
-            self._send_feedback(origin, outcome, owners, trace)
         config = network.config
         do_refine = (config.refine_with_local_engines
                      if refine is None else refine)
@@ -135,6 +149,11 @@ class RetrievalComponent:
         # exact scores, then cuts back to result_k.
         pool_k = (config.result_k * config.refine_pool_factor
                   if do_refine else config.result_k)
+        outcome, owners = self.engine.execute(origin, terms, trace, pool_k)
+        trace.probes = [(record.key, record.status)
+                        for record in outcome.records]
+        if network.mode == "qdi":
+            self._send_feedback(origin, outcome, owners, trace)
         results = merge_and_rank(outcome.retrieved, trace.query, pool_k)
         # Lazy cleanup: drop references to documents whose holder is gone
         # (crash) or that were unpublished — stale postings for them may
@@ -146,6 +165,9 @@ class RetrievalComponent:
             results = results[: config.result_k]
             trace.refined = True
         trace.results = results
+        # Both totals are deltas of the same transport counters over the
+        # query window, so they reconcile by construction: every kind
+        # increment is paired with a global increment of the same size.
         trace.bytes_sent = int(network.bytes_sent_total() - bytes_before)
         kinds_after = network.bytes_by_kind()
         trace.bytes_by_kind = {

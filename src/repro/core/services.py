@@ -9,7 +9,7 @@ and ring) — and lets unit tests substitute an in-memory fake.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Protocol, Tuple
+from typing import Any, Dict, Optional, Protocol, Sequence, Tuple
 
 from repro.core.config import AlvisConfig
 
@@ -29,8 +29,25 @@ class NetworkServices(Protocol):
         """
         ...
 
+    def lookup_owners(self, origin: int,
+                      key_ids: Sequence[int]) -> Tuple[Dict[int, int], int]:
+        """Resolve a batch of keys in one shared routed round.
+
+        Returns ``({key_id: owner_peer_id}, routed hop messages)`` — the
+        message count is amortized across keys sharing hops.
+        """
+        ...
+
     def send(self, origin: int, dst: int, kind: str,
              payload: Dict[str, Any]
              ) -> Tuple[Optional[Dict[str, Any]], float]:
         """Send one request and return ``(reply payload or None, rtt)``."""
+        ...
+
+    def note_index_update(self) -> None:
+        """Record a global-index mutation (invalidates probe caches).
+
+        Called by peers when they change the index outside the network
+        facade's own flows — e.g. QDI's on-demand indexing/eviction.
+        """
         ...

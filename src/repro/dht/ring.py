@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.dht.idspace import ID_BITS
 from repro.dht.node import DHTNode
@@ -19,7 +19,7 @@ from repro.dht.routing import FingerTableStrategy, HopSpaceFingers
 from repro.net.message import Message
 from repro.net.transport import Transport
 
-__all__ = ["LookupResult", "DHTRing"]
+__all__ = ["LookupResult", "BatchLookupResult", "DHTRing"]
 
 #: Handover callback signature: (old_owner, new_owner, key_range_lo, key_range_hi).
 HandoverCallback = Callable[[int, int, int, int], None]
@@ -33,6 +33,25 @@ class LookupResult:
     owner: int
     hops: int
     path: List[int] = field(default_factory=list)
+
+
+@dataclass
+class BatchLookupResult:
+    """Outcome of one batched (shared-traversal) lookup round.
+
+    ``messages`` counts the routed ``LookupHop`` messages actually sent:
+    keys whose greedy routes share a hop share one message, which is
+    where the batching saves traffic over per-key lookups.
+    """
+
+    owners: Dict[int, int]          #: key id -> owning node id
+    messages: int                   #: routed hop messages for the batch
+    per_key_hops: Dict[int, int]    #: key id -> individual path length
+
+    @property
+    def total_hops(self) -> int:
+        """Sum of the individual path lengths (the unbatched cost)."""
+        return sum(self.per_key_hops.values())
 
 
 class DHTRing:
@@ -189,3 +208,61 @@ class DHTRing:
                 raise RuntimeError(
                     f"lookup for {key_id} exceeded {max_hops} hops; "
                     "routing tables are inconsistent")
+
+    def lookup_many(self, source_id: int, key_ids: Iterable[int],
+                    account: bool = False) -> BatchLookupResult:
+        """Route one *batch* of keys from ``source_id`` in a shared round.
+
+        Every key follows exactly the greedy hop sequence :meth:`lookup`
+        would give it, so the resolved owners are identical — but keys
+        taking the same hop travel in one combined ``LookupHop`` message,
+        so finger-table traversals are shared and the per-key message
+        cost is amortized across the batch (the lattice-frontier batching
+        of the query engine).
+        """
+        self.ensure_tables()
+        if source_id not in self._nodes:
+            raise KeyError(f"source node {source_id} not present")
+        pending = sorted(set(key_ids))
+        owners: Dict[int, int] = {}
+        per_key_hops: Dict[int, int] = {key_id: 0 for key_id in pending}
+        frontier: Dict[int, List[int]] = {source_id: pending}
+        messages = 0
+        rounds = 0
+        max_rounds = 2 * ID_BITS + self.size
+        while frontier:
+            rounds += 1
+            if rounds > max_rounds:
+                unresolved = sorted(key_id for keys in frontier.values()
+                                    for key_id in keys)
+                raise RuntimeError(
+                    f"batched lookup exceeded {max_rounds} rounds for "
+                    f"keys {unresolved[:4]}...; routing tables are "
+                    "inconsistent")
+            next_frontier: Dict[int, List[int]] = {}
+            for node_id in sorted(frontier):
+                node = self._nodes[node_id]
+                predecessor = self.predecessor_of(node_id)
+                by_next: Dict[int, List[int]] = {}
+                for key_id in frontier[node_id]:
+                    if node.owns(key_id, predecessor):
+                        owners[key_id] = node_id
+                        continue
+                    next_id = node.next_hop(key_id)
+                    if next_id is None:
+                        next_id = node.successor
+                    by_next.setdefault(next_id, []).append(key_id)
+                for next_id in sorted(by_next):
+                    batch = by_next[next_id]
+                    if account and self.transport is not None:
+                        message = Message(src=node_id, dst=next_id,
+                                          kind="LookupHop",
+                                          payload={"key_ids": batch})
+                        self.transport.request(message)
+                    messages += 1
+                    for key_id in batch:
+                        per_key_hops[key_id] += 1
+                    next_frontier.setdefault(next_id, []).extend(batch)
+            frontier = next_frontier
+        return BatchLookupResult(owners=owners, messages=messages,
+                                 per_key_hops=per_key_hops)

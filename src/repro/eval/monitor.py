@@ -44,6 +44,17 @@ class NetworkSnapshot:
     per_peer_messages_in: Dict[int, int]
     qdi_activations: int = 0
     qdi_evictions: int = 0
+    #: Aggregated probe-cache counters across all peers (query engine).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    cache_bytes_used: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """Flat numeric view (for time series / plotting)."""
@@ -58,6 +69,11 @@ class NetworkSnapshot:
             "messages_total": self.messages_total,
             "qdi_activations": float(self.qdi_activations),
             "qdi_evictions": float(self.qdi_evictions),
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "cache_evictions": float(self.cache_evictions),
+            "cache_invalidations": float(self.cache_invalidations),
+            "cache_bytes_used": float(self.cache_bytes_used),
         }
         flat.update({f"traffic_{name}": value
                      for name, value in self.traffic.as_dict().items()})
@@ -95,6 +111,7 @@ class NetworkMonitor:
         qdi_evictions = sum(
             peer.qdi.stats.evictions for peer in network.peers()
             if peer.qdi is not None)
+        cache_stats = [peer.probe_cache.stats for peer in network.peers()]
         observed = NetworkSnapshot(
             num_peers=network.num_peers,
             num_documents=network.total_documents(),
@@ -111,6 +128,13 @@ class NetworkMonitor:
             per_peer_messages_in=network.per_peer_messages_in(),
             qdi_activations=qdi_activations,
             qdi_evictions=qdi_evictions,
+            cache_hits=sum(stats.hits for stats in cache_stats),
+            cache_misses=sum(stats.misses for stats in cache_stats),
+            cache_evictions=sum(stats.evictions for stats in cache_stats),
+            cache_invalidations=sum(stats.invalidations
+                                    for stats in cache_stats),
+            cache_bytes_used=sum(peer.probe_cache.used_bytes
+                                 for peer in network.peers()),
         )
         self.history.append(observed)
         return observed
@@ -156,6 +180,14 @@ class NetworkMonitor:
             lines.append(
                 f"QDI: {snapshot.qdi_activations} activations, "
                 f"{snapshot.qdi_evictions} evictions")
+        if snapshot.cache_hits or snapshot.cache_misses:
+            lines.append(
+                f"probe cache: {snapshot.cache_hits} hits / "
+                f"{snapshot.cache_misses} misses "
+                f"(rate {snapshot.cache_hit_rate:.0%}), "
+                f"{snapshot.cache_bytes_used:,} bytes held, "
+                f"{snapshot.cache_evictions} evictions, "
+                f"{snapshot.cache_invalidations} invalidations")
         return "\n".join(lines)
 
     def delta(self) -> Dict[str, float]:

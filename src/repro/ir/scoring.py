@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence, Union
 
 __all__ = ["BM25Parameters", "CollectionStatistics", "bm25_term_weight",
-           "bm25_score", "tf_idf_score"]
+           "bm25_weight_ceiling", "bm25_score", "tf_idf_score"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +73,25 @@ def bm25_term_weight(term_frequency: int, document_frequency: int,
                               + params.b * document_length / avgdl)
     return idf * term_frequency * (params.k1 + 1.0) \
         / (term_frequency + normalizer)
+
+
+def bm25_weight_ceiling(document_frequency: int, num_documents: int,
+                        params: BM25Parameters = BM25Parameters()
+                        ) -> float:
+    """Upper bound on :func:`bm25_term_weight` over all documents.
+
+    The tf saturation term ``tf * (k1 + 1) / (tf + normalizer)`` is
+    strictly below ``k1 + 1``, so ``idf * (k1 + 1)`` bounds the weight
+    for any tf and document length.  Because idf falls as df rises, a
+    df *lower bound* yields a sound ceiling (df 0 — term never seen —
+    maximizes it).  The distributed query engine uses this for top-k
+    early termination; keep it next to :func:`bm25_term_weight` so the
+    two idf expressions cannot drift apart.
+    """
+    n = max(num_documents, 1)
+    df = min(max(document_frequency, 0), n)
+    idf = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+    return max(idf, 0.0) * (params.k1 + 1.0)
 
 
 def bm25_score(query_terms: Sequence[str],

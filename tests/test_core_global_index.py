@@ -122,6 +122,48 @@ class TestPopularityAndEviction:
         assert fragment.evict_below(0.5) == []
 
 
+class TestSameRoundProtection:
+    """The record→decay→evict contract: keys bumped in the current
+    round are passed as a protect set and survive that round's decay
+    and eviction untouched (regression for the maintenance-order bug
+    where same-round feedback was halved and then evicted)."""
+
+    def test_decay_skips_protected_keys(self):
+        fragment = GlobalIndexFragment(truncation_k=5)
+        bumped = Key(["x", "y"])
+        stale = Key(["u", "v"])
+        fragment.record_popularity(bumped, weight=1.0)
+        fragment.record_popularity(stale, weight=1.0)
+        fragment.decay_popularity(0.5, protect={bumped})
+        assert fragment.get(bumped).popularity == pytest.approx(1.0)
+        assert fragment.get(stale).popularity == pytest.approx(0.5)
+
+    def test_same_round_feedback_survives_maintenance(self):
+        fragment = GlobalIndexFragment(truncation_k=5)
+        key = Key(["x", "y"])
+        fragment.record_popularity(key, weight=1.0)
+        protect = {key}
+        # Without protection 1.0 would decay to 0.5 < 0.6 and the shadow
+        # entry would be dropped by the very round its feedback arrived
+        # in; the explicit order keeps it alive.
+        fragment.decay_popularity(0.5, protect=protect)
+        assert fragment.evict_below(0.6, protect=protect) == []
+        assert fragment.get(key) is not None
+        assert fragment.get(key).popularity == pytest.approx(1.0)
+        # Next round, unbumped: it ages and goes as usual.
+        fragment.decay_popularity(0.5)
+        assert fragment.evict_below(0.6) == [key]
+
+    def test_eviction_protection_only_lasts_one_round(self):
+        fragment = GlobalIndexFragment(truncation_k=5)
+        key = Key(["c", "d"])
+        fragment.publish(key, _postings(2), 1, contributor=1,
+                         on_demand=True)
+        fragment.record_popularity(key, weight=0.4)
+        assert fragment.evict_below(0.5, protect={key}) == []
+        assert fragment.evict_below(0.5) == [key]
+
+
 class TestStorageAndHandover:
     def test_storage_accounting(self):
         fragment = GlobalIndexFragment(truncation_k=10)

@@ -196,3 +196,22 @@ class TestMaintenance:
         peer = qdi_network.peers()[0]
         evicted = peer.qdi.run_maintenance()
         assert isinstance(evicted, list)
+
+    def test_same_round_bumps_survive_aggressive_maintenance(
+            self, small_corpus, small_workload):
+        """Maintenance after *every* probe (interval=1) with brutal
+        decay: under the old decay-then-evict-everything order a
+        missing key's popularity was wiped in the same round it was
+        recorded, so activation could never trigger.  The explicit
+        record→decay→evict contract keeps same-round bumps alive."""
+        network = _qdi_net(small_corpus, threshold=2,
+                          qdi_maintenance_interval=1,
+                          qdi_decay=0.1,
+                          qdi_eviction_threshold=0.5)
+        query = list(small_workload.pool[0])
+        origins = network.peer_ids()
+        for origin in origins[:4]:
+            network.query(origin, query)
+        activations = sum(peer.qdi.stats.activations
+                          for peer in network.peers())
+        assert activations > 0

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.core.config import AlvisConfig
 from repro.core.lattice import ProbeStatus
+from repro.core.network import AlvisNetwork
 from repro.core.retrieval import QueryTrace
 from repro.core.keys import Key
 
@@ -77,4 +79,74 @@ class TestQueryTraceDataclass:
         trace = QueryTrace(query=Key(["a"]), origin=1)
         assert trace.probed_count == 0
         assert trace.skipped_count == 0
+        assert trace.pruned_count == 0
+        assert trace.cache_hit_rate == 0.0
         assert trace.summary()["probed"] == 0.0
+        assert trace.summary()["pruned"] == 0.0
+
+
+class TestByteAccountingReconciliation:
+    """Regression tests for the bytes_by_kind vs bytes_sent audit:
+    skipped/pruned/cache-served lattice nodes must never contribute
+    probe bytes, and the two totals must reconcile in every engine
+    configuration."""
+
+    def _probe_message_count(self, network):
+        metrics = network.simulator.metrics
+        return (metrics.counter_value("net.msgs.sent.ProbeKey")
+                + metrics.counter_value("net.msgs.sent.ProbeBatch"))
+
+    def test_skipped_probes_send_no_probe_messages(self, hdk_network,
+                                                   small_workload):
+        origin = hdk_network.peer_ids()[0]
+        for query in small_workload.pool[:10]:
+            before = self._probe_message_count(hdk_network)
+            _results, trace = hdk_network.query(origin, list(query))
+            sent = self._probe_message_count(hdk_network) - before
+            remote_probed = sum(
+                1 for key, status in trace.probes
+                if status not in (ProbeStatus.SKIPPED, ProbeStatus.PRUNED)
+                and hdk_network.owner_peer_of_key(key.key_id) != origin)
+            # One ProbeKey message per remote probed node; skipped nodes
+            # contribute nothing.
+            assert sent == remote_probed
+            if trace.skipped_count == len(trace.probes):
+                assert trace.bytes_by_kind.get("ProbeKey", 0) == 0
+
+    @pytest.mark.parametrize("overrides", [
+        {},
+        {"batch_lookups": True},
+        {"cache_bytes": 64 * 1024},
+        {"batch_lookups": True, "cache_bytes": 64 * 1024,
+         "topk_early_stop": True},
+    ])
+    def test_totals_reconcile_in_every_engine_config(
+            self, small_corpus, small_workload, overrides):
+        network = AlvisNetwork(num_peers=10,
+                               config=AlvisConfig(**overrides), seed=2)
+        network.distribute_documents(small_corpus.documents())
+        network.build_index(mode="hdk")
+        origin = network.peer_ids()[0]
+        for query in small_workload.pool[:6] * 2:   # repeats hit caches
+            _results, trace = network.query(origin, list(query))
+            assert sum(trace.bytes_by_kind.values()) == trace.bytes_sent
+            assert all(value > 0
+                       for value in trace.bytes_by_kind.values())
+
+    def test_cache_served_query_accounts_zero_bytes(self, small_corpus,
+                                                    small_workload):
+        network = AlvisNetwork(
+            num_peers=10,
+            config=AlvisConfig(batch_lookups=True,
+                               cache_bytes=64 * 1024), seed=2)
+        network.distribute_documents(small_corpus.documents())
+        network.build_index(mode="hdk")
+        origin = network.peer_ids()[0]
+        query = list(small_workload.pool[0])
+        network.query(origin, query)
+        before = network.bytes_sent_total()
+        _results, warm = network.query(origin, query)
+        assert network.bytes_sent_total() == before
+        assert warm.bytes_sent == 0
+        assert warm.bytes_by_kind == {}
+        assert sum(warm.bytes_by_kind.values()) == warm.bytes_sent
