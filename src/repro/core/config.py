@@ -139,6 +139,46 @@ class AlvisConfig:
     #: scores of already-ranked documents) and therefore off by default.
     topk_early_stop: bool = False
 
+    # ------------------------------------------------------------------
+    # Async query runtime (event-kernel execution of the L3/L4 path)
+    # ------------------------------------------------------------------
+
+    #: Execute queries as processes on the discrete-event kernel
+    #: (:mod:`repro.core.runtime`): every ``LookupHop``/``ProbeBatch``
+    #: travels through :meth:`Transport.request_async`, so concurrent
+    #: queries genuinely interleave in virtual time and per-query
+    #: *latency* is measured from the clock (``QueryTrace.latency``)
+    #: instead of estimated (``rtt_estimate``).  The async path always
+    #: runs frontier-batched (it implies the ``batch_lookups`` wire
+    #: format); for a single query it issues byte-for-byte the traffic
+    #: of the synchronous batched path.  Off by default: the synchronous
+    #: path remains the compatibility mode.
+    async_queries: bool = False
+
+    #: Virtual seconds the per-origin dispatch queue waits before
+    #: flushing accumulated lookups/probes, coalescing same-destination
+    #: traffic across *concurrent queries* (server-side cross-query
+    #: batching).  0 still coalesces requests issued at the same virtual
+    #: instant; larger windows trade per-probe latency for fewer,
+    #: larger messages under load.  Only meaningful with
+    #: ``async_queries``.
+    dispatch_window: float = 0.0
+
+    #: Pipeline lattice levels: launch level N+1's DHT lookups while
+    #: level N's probe replies are still in flight.  Cuts query latency
+    #: by roughly one lookup round per level, at the cost of
+    #: *speculative* lookups for keys a level-N result later excludes
+    #: (top-k results are unaffected; only routing traffic can grow).
+    #: Only meaningful with ``async_queries``.
+    pipeline_levels: bool = False
+
+    #: Timeout (virtual seconds) for async requests; 0 disables.  A
+    #: timed-out probe is recorded as a dropped probe, like a churn
+    #: drop.
+    request_timeout: float = 0.0
+
+    # ------------------------------------------------------------------
+
     #: Perform the second "refinement" step: forward the query to the
     #: local engines of peers holding the first-step results.
     refine_with_local_engines: bool = False
@@ -184,6 +224,10 @@ class AlvisConfig:
             raise ValueError("cache_bytes must be >= 0")
         if self.cache_ttl < 0:
             raise ValueError("cache_ttl must be >= 0")
+        if self.dispatch_window < 0:
+            raise ValueError("dispatch_window must be >= 0")
+        if self.request_timeout < 0:
+            raise ValueError("request_timeout must be >= 0")
 
     def with_overrides(self, **kwargs) -> "AlvisConfig":
         """Return a copy with the given fields replaced (sweep helper)."""

@@ -43,11 +43,13 @@ from repro.ir.postings import PostingList
 __all__ = ["ProbeStatus", "ProbeRecord", "ExplorationOutcome",
            "LatticeExplorer"]
 
-#: The probe callback: Key -> (found, posting list or None).
+#: The probe callback: Key -> (found, posting list or None).  A probe
+#: lost to churn may report itself with a third element: (False, None,
+#: True) records the node as :attr:`ProbeStatus.DROPPED`.
 ProbeFn = Callable[[Key], Tuple[bool, Optional[PostingList]]]
 
 #: The batched probe callback: one lattice level's unexcluded keys ->
-#: per-key (found, posting list or None), in the same order.
+#: per-key (found, posting list or None[, dropped]), in the same order.
 ProbeLevelFn = Callable[[List[Key]],
                         Sequence[Tuple[bool, Optional[PostingList]]]]
 
@@ -64,6 +66,7 @@ class ProbeStatus(enum.Enum):
     MISSING = "missing"           #: probed but not in the global index
     SKIPPED = "skipped"           #: excluded by a dominating key
     PRUNED = "pruned"             #: cut off by top-k early termination
+    DROPPED = "dropped"           #: probe lost to churn (owner departed)
 
 
 @dataclass
@@ -179,28 +182,76 @@ class LatticeExplorer:
                                             excluded)
             if should_stop is None:
                 continue
-            remaining = [key
-                         for later in levels[depth + 1:]
-                         for key in later
-                         if key not in excluded]
+            remaining = self.remaining_after(levels, depth, excluded)
             if remaining and should_stop(outcome, remaining):
-                for later in levels[depth + 1:]:
-                    for key in later:
-                        status = (ProbeStatus.SKIPPED
-                                  if key in excluded
-                                  else ProbeStatus.PRUNED)
-                        outcome.records.append(ProbeRecord(key, status))
+                self.prune_remaining(levels, depth, outcome, excluded)
                 break
         return outcome
+
+    # ------------------------------------------------------------------
+    # Per-level building blocks (shared with the async runtime)
+    # ------------------------------------------------------------------
+
+    def record_level(self, level: Sequence[Key],
+                     results_by_key: Dict[Key, Tuple],
+                     outcome: ExplorationOutcome, excluded: set) -> None:
+        """Classify one level's probe results in level order.
+
+        Keys absent from ``results_by_key`` are recorded as
+        :attr:`ProbeStatus.SKIPPED`; present keys are classified through
+        the exclusion-updating rules, honoring an optional third
+        "dropped" tuple element.  This is the single source of truth for
+        per-level record semantics — the synchronous batched path and
+        the async runtime both go through it.
+        """
+        for key in level:
+            if key not in results_by_key:
+                outcome.records.append(
+                    ProbeRecord(key, ProbeStatus.SKIPPED))
+                continue
+            result = results_by_key[key]
+            found, postings = result[0], result[1]
+            dropped = len(result) > 2 and bool(result[2])
+            self._record_result(key, found, postings, outcome, excluded,
+                                dropped=dropped)
+
+    @staticmethod
+    def remaining_after(levels: Sequence[Sequence[Key]], depth: int,
+                        excluded: set) -> List[Key]:
+        """Unexcluded keys of every level below ``depth`` (the
+        ``should_stop`` hook's second argument)."""
+        return [key
+                for later in levels[depth + 1:]
+                for key in later
+                if key not in excluded]
+
+    @staticmethod
+    def prune_remaining(levels: Sequence[Sequence[Key]], depth: int,
+                        outcome: ExplorationOutcome,
+                        excluded: set) -> None:
+        """Record every level below ``depth`` as PRUNED (or SKIPPED when
+        already excluded) after early termination fired."""
+        for later in levels[depth + 1:]:
+            for key in later:
+                status = (ProbeStatus.SKIPPED
+                          if key in excluded
+                          else ProbeStatus.PRUNED)
+                outcome.records.append(ProbeRecord(key, status))
 
     # ------------------------------------------------------------------
 
     def _record_result(self, key: Key, found: bool,
                        postings: Optional[PostingList],
                        outcome: ExplorationOutcome,
-                       excluded: set) -> ProbeRecord:
+                       excluded: set,
+                       dropped: bool = False) -> ProbeRecord:
         """Classify one probe result and update the exclusion set."""
-        if not found or postings is None:
+        if dropped:
+            # The probe was lost to churn: the owner never saw it, so it
+            # is neither "missing" (QDI must not count it as an indexing
+            # candidate) nor an exclusion source.
+            record = ProbeRecord(key, ProbeStatus.DROPPED)
+        elif not found or postings is None:
             record = ProbeRecord(key, ProbeStatus.MISSING)
         elif postings.truncated:
             record = ProbeRecord(key, ProbeStatus.TRUNCATED, postings)
@@ -220,8 +271,11 @@ class LatticeExplorer:
                 outcome.records.append(
                     ProbeRecord(key, ProbeStatus.SKIPPED))
                 continue
-            found, postings = probe(key)
-            self._record_result(key, found, postings, outcome, excluded)
+            result = probe(key)
+            found, postings = result[0], result[1]
+            dropped = len(result) > 2 and bool(result[2])
+            self._record_result(key, found, postings, outcome, excluded,
+                                dropped=dropped)
 
     def _explore_level_batched(self, level: List[Key],
                                probe_level: ProbeLevelFn,
@@ -236,11 +290,5 @@ class LatticeExplorer:
             raise ValueError(
                 f"probe_level returned {len(results)} results for "
                 f"{len(frontier)} keys")
-        by_key = dict(zip(frontier, results))
-        for key in level:
-            if key not in by_key:
-                outcome.records.append(
-                    ProbeRecord(key, ProbeStatus.SKIPPED))
-                continue
-            found, postings = by_key[key]
-            self._record_result(key, found, postings, outcome, excluded)
+        self.record_level(level, dict(zip(frontier, results)), outcome,
+                          excluded)

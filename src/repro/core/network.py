@@ -38,6 +38,7 @@ from repro.core.keys import Key
 from repro.core.peer import AlvisPeer
 from repro.core.ranking import RankedDocument
 from repro.core.retrieval import QueryTrace, RetrievalComponent
+from repro.core.runtime import AsyncQueryRuntime, QueryJob
 from repro.dht.churn import ChurnProcess
 from repro.dht.hashing import hash_string
 from repro.dht.ring import DHTRing
@@ -101,6 +102,11 @@ class AlvisNetwork:
         self._doc_owner: Dict[int, int] = {}
         self.mode: Optional[str] = None
         self.retrieval = RetrievalComponent(self)
+        #: The async query runtime (event-kernel execution of the L3/L4
+        #: path); active when ``config.async_queries`` is set, but always
+        #: constructed so the monitor can report its counters.
+        self.runtime = AsyncQueryRuntime(self)
+        self._workload_streams = 0
         self._statistics_done = False
         #: origin peer -> (membership epoch, {key_id: owner}).
         self._lookup_caches: Dict[int, Tuple[int, Dict[int, int]]] = {}
@@ -459,6 +465,53 @@ class AlvisNetwork:
               ) -> Tuple[List[RankedDocument], QueryTrace]:
         """Run one multi-keyword query from peer ``origin``."""
         return self.retrieval.query(origin, query, refine=refine)
+
+    def run_queries(self, queries: Sequence[Union[str, Sequence[str]]],
+                    origins: Optional[Sequence[int]] = None,
+                    arrival_rate: float = 50.0,
+                    refine: Optional[bool] = None) -> List[QueryJob]:
+        """Open-workload driver: Poisson arrivals of concurrent queries.
+
+        Requires ``config.async_queries``.  Each query of ``queries`` is
+        submitted to the async runtime after an exponential interarrival
+        gap (``arrival_rate`` arrivals per virtual second, a Poisson
+        process) from an origin peer drawn from ``origins`` round-robin
+        (or uniformly from all peers when omitted); the simulator then
+        runs until every query completed.  Returns the jobs in arrival
+        order — each carries its results and a trace whose ``latency``
+        is the clock-measured response time under the overlapping load.
+
+        The arrival process draws from its own derived RNG stream, so
+        repeated calls (and other subsystems) stay deterministic.
+        """
+        if not self.config.async_queries:
+            raise ValueError(
+                "run_queries requires config.async_queries; the "
+                "synchronous path cannot overlap queries")
+        if arrival_rate <= 0:
+            raise ValueError(
+                f"arrival_rate must be positive, got {arrival_rate}")
+        rng = make_rng(self.seed, "workload", self._workload_streams)
+        self._workload_streams += 1
+        peer_ids = self.peer_ids()
+        submissions = []
+        arrival = 0.0
+        for index, query in enumerate(queries):
+            arrival += rng.expovariate(arrival_rate)
+            if origins is not None:
+                origin = origins[index % len(origins)]
+            else:
+                origin = rng.choice(peer_ids)
+            submissions.append((arrival, origin, query))
+        jobs: List[QueryJob] = []
+        for delay, origin, query in submissions:
+            self.simulator.schedule(
+                delay,
+                lambda origin=origin, query=query:
+                    jobs.append(self.runtime.submit(origin, query,
+                                                    refine=refine)))
+        self.simulator.run()
+        return jobs
 
     def fetch_document(self, origin: int, doc_id: int,
                        credentials: Optional[Tuple[str, str]] = None,

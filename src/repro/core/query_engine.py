@@ -46,6 +46,7 @@ from repro.core.lattice import ExplorationOutcome, LatticeExplorer
 from repro.core.ranking import rank_with_margin
 from repro.ir.postings import PostingList
 from repro.ir.scoring import BM25Parameters, bm25_weight_ceiling
+from repro.net.transport import DeliveryError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.network import AlvisNetwork
@@ -56,8 +57,13 @@ __all__ = ["QueryEngine"]
 #: Fixed per-entry bookkeeping charged against the cache byte budget.
 _CACHE_ENTRY_OVERHEAD = 16
 
-#: A probe result as the engine moves it around: (found, postings).
+#: A probe result as the engine moves it around: (found, postings).  A
+#: probe lost to churn is the 3-tuple ``(False, None, True)`` — the
+#: explorer records it as :attr:`ProbeStatus.DROPPED`.
 ProbeResult = Tuple[bool, Optional[PostingList]]
+
+#: The churn-drop marker handed to the lattice explorer.
+DROPPED_PROBE = (False, None, True)
 
 
 class QueryEngine:
@@ -90,34 +96,34 @@ class QueryEngine:
         cache = self._origin_cache(origin)
 
         def cache_lookup(key: Key) -> Optional[ProbeResult]:
-            if cache is None:
-                return None
-            hit, value = cache.get(key)
-            if hit:
-                trace.cache_hits += 1
-                return value
-            trace.cache_misses += 1
-            return None
+            return self.cache_get(cache, trace, key)
 
         def cache_store(key: Key, found: bool,
                         postings: Optional[PostingList]) -> None:
-            if cache is None:
-                return
-            size = (key.wire_size() + _CACHE_ENTRY_OVERHEAD
-                    + (postings.wire_size() if postings is not None else 1))
-            cache.put(key, (found, postings), size)
+            self.cache_put(cache, key, found, postings)
 
         def probe_one(key: Key) -> ProbeResult:
             """The per-probe compatibility path (seed-identical traffic)."""
             cached = cache_lookup(key)
             if cached is not None:
                 return cached
-            owner, hops = network.lookup_owner(origin, key.key_id)
+            try:
+                owner, hops = network.lookup_owner(origin, key.key_id)
+            except DeliveryError:
+                # A routing hop hit a departed peer: give up on this
+                # probe gracefully instead of crashing the query.
+                return DROPPED_PROBE
             owners[key] = owner
             trace.lookup_hops += hops
             payload = {"key_terms": list(key.terms)}
-            reply, rtt = network.send(origin, owner, protocol.PROBE_KEY,
-                                      payload)
+            try:
+                reply, rtt = network.send(origin, owner, protocol.PROBE_KEY,
+                                          payload)
+            except DeliveryError:
+                # The owner departed between resolution and send (stale
+                # lookup cache, or churn interleaved with the query).
+                trace.request_messages += 1
+                return DROPPED_PROBE
             trace.request_messages += 1
             probe_rtts.setdefault(len(key), []).append(rtt)
             if reply is None or not reply["found"]:
@@ -138,8 +144,13 @@ class QueryEngine:
                 else:
                     misses.append(key)
             if misses:
-                resolved, hop_messages = network.lookup_owners(
-                    origin, [key.key_id for key in misses])
+                try:
+                    resolved, hop_messages = network.lookup_owners(
+                        origin, [key.key_id for key in misses])
+                except DeliveryError:
+                    for key in misses:
+                        results[key] = DROPPED_PROBE
+                    return [results[key] for key in frontier]
                 trace.lookup_hops += hop_messages
                 by_owner: Dict[int, List[Key]] = {}
                 for key in misses:
@@ -149,8 +160,15 @@ class QueryEngine:
                 level = len(frontier[0])
                 for owner, batch in by_owner.items():
                     payload = {"keys": [list(key.terms) for key in batch]}
-                    reply, rtt = network.send(origin, owner,
-                                              protocol.PROBE_BATCH, payload)
+                    try:
+                        reply, rtt = network.send(origin, owner,
+                                                  protocol.PROBE_BATCH,
+                                                  payload)
+                    except DeliveryError:
+                        trace.request_messages += 1
+                        for key in batch:
+                            results[key] = DROPPED_PROBE
+                        continue
                     trace.request_messages += 1
                     probe_rtts.setdefault(level, []).append(rtt)
                     if reply is None:
@@ -183,6 +201,31 @@ class QueryEngine:
             trace.rtt_estimate += sum(rtt for rtts in probe_rtts.values()
                                       for rtt in rtts)
         return outcome, owners
+
+    # ------------------------------------------------------------------
+    # Probe-cache plumbing (shared with the async runtime)
+    # ------------------------------------------------------------------
+
+    def cache_get(self, cache: Optional[LRUByteCache], trace: "QueryTrace",
+                  key: Key) -> Optional[ProbeResult]:
+        """Consult the origin's probe cache, accounting hit/miss."""
+        if cache is None:
+            return None
+        hit, value = cache.get(key)
+        if hit:
+            trace.cache_hits += 1
+            return value
+        trace.cache_misses += 1
+        return None
+
+    def cache_put(self, cache: Optional[LRUByteCache], key: Key,
+                  found: bool, postings: Optional[PostingList]) -> None:
+        """Store one probe outcome with its byte-accounted size."""
+        if cache is None:
+            return
+        size = (key.wire_size() + _CACHE_ENTRY_OVERHEAD
+                + (postings.wire_size() if postings is not None else 1))
+        cache.put(key, (found, postings), size)
 
     # ------------------------------------------------------------------
 

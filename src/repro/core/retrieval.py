@@ -30,6 +30,7 @@ from repro.core.lattice import (
 )
 from repro.core.query_engine import QueryEngine
 from repro.core.ranking import RankedDocument, merge_and_rank
+from repro.net.transport import DeliveryError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.network import AlvisNetwork
@@ -65,7 +66,15 @@ class QueryTrace:
     request_messages: int = 0
     bytes_sent: int = 0
     bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Modelled round-trip estimate of the synchronous compatibility
+    #: path (levels cost their slowest probe under ``parallel_probes``).
     rtt_estimate: float = 0.0
+    #: Virtual times of query start/finish and their difference — the
+    #: *measured* latency of the async runtime (``async_queries``); all
+    #: zero on the synchronous path, where no virtual time elapses.
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    latency: float = 0.0
     refined: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
@@ -89,6 +98,12 @@ class QueryTrace:
                    if status == ProbeStatus.PRUNED)
 
     @property
+    def dropped_count(self) -> int:
+        """Probes lost to churn (owner departed mid-query)."""
+        return sum(1 for _key, status in self.probes
+                   if status == ProbeStatus.DROPPED)
+
+    @property
     def cache_hit_rate(self) -> float:
         """Fraction of lattice probes served from the origin's cache."""
         lookups = self.cache_hits + self.cache_misses
@@ -101,6 +116,8 @@ class QueryTrace:
             "probed": float(self.probed_count),
             "skipped": float(self.skipped_count),
             "pruned": float(self.pruned_count),
+            "dropped": float(self.dropped_count),
+            "latency": float(self.latency),
             "hops": float(self.lookup_hops),
             "messages": float(self.request_messages),
             "bytes": float(self.bytes_sent),
@@ -132,8 +149,23 @@ class RetrievalComponent:
         ``query`` is either a raw string (analyzed with the network's
         analyzer) or a pre-analyzed term sequence.  ``refine`` overrides
         the config's ``refine_with_local_engines``.
+
+        With ``config.async_queries`` the query runs as a process on the
+        event kernel (:mod:`repro.core.runtime`) and the simulator is
+        driven to completion; traffic is identical to the synchronous
+        frontier-batched path, but the trace's ``latency`` is measured
+        from the virtual clock.  Use :meth:`AlvisNetwork.run_queries`
+        to overlap many queries instead of completing them one by one.
         """
         network = self.network
+        if network.config.async_queries:
+            job = network.runtime.submit(origin, query, refine=refine)
+            network.simulator.run()
+            if not job.done:
+                raise RuntimeError(
+                    "async query did not complete: the simulator drained "
+                    "with the query still pending")
+            return job.results, job.trace
         terms = (network.analyzer.analyze_query(query)
                  if isinstance(query, str) else
                  list(dict.fromkeys(query)))
@@ -191,8 +223,14 @@ class RetrievalComponent:
             redundant = outcome.covered_by_untruncated(key)
             payload = {"key_terms": list(key.terms),
                        "redundant": redundant}
-            _reply, rtt = self.network.send(origin, owner,
-                                            protocol.FEEDBACK, payload)
+            try:
+                _reply, rtt = self.network.send(origin, owner,
+                                                protocol.FEEDBACK, payload)
+            except DeliveryError:
+                # The owner departed since its probe: popularity feedback
+                # is best-effort, never worth crashing the query.
+                trace.request_messages += 1
+                continue
             trace.request_messages += 1
             trace.rtt_estimate += rtt
 

@@ -1,0 +1,644 @@
+"""The async query runtime: event-kernel execution of the L3/L4 path.
+
+The synchronous :class:`~repro.core.query_engine.QueryEngine` runs each
+query to completion before the next one starts — queries never overlap
+in virtual time, so the engine can neither pipeline lattice levels nor
+coalesce traffic across concurrent queries, and "latency under load" is
+unmeasurable.  This module is the refactor from *one query at a time*
+to *a network serving traffic*:
+
+* every query is a :class:`~repro.sim.procs.Proc` on the event kernel;
+  its ``LookupHop``/``ProbeBatch`` messages travel through
+  :meth:`Transport.request_async`, so lookups and probes from different
+  queries genuinely interleave and per-query **latency** is measured
+  from the virtual clock (``QueryTrace.latency``), not estimated;
+
+* a per-origin **dispatch queue** (:class:`_OriginDispatcher`)
+  accumulates the lookups and probes issued within one
+  ``dispatch_window`` and flushes them as shared rounds: lookups from
+  concurrent queries route in one ``lookup_many_async`` traversal, and
+  probes bound for the same responsible peer — possibly from different
+  queries, deduplicated — share one ``ProbeBatch`` message (server-side
+  cross-query batching);
+
+* with ``pipeline_levels``, level N+1's DHT lookups launch while level
+  N's probe replies are still in flight — speculative routing traffic
+  for keys a level-N result later excludes, in exchange for one lookup
+  round of latency per level.  Speculation is charged when it resolves:
+  a prefetch invalidated by churn (and re-resolved) or outrun by early
+  termination still paid for its hop messages, so its charges land on
+  the trace even if the query already finished;
+
+* churn is *survived*, not raised: a probe whose owner departed between
+  resolution and delivery resolves as :attr:`ProbeStatus.DROPPED` and
+  is counted in the trace.
+
+For a single query the runtime issues byte-for-byte the traffic of the
+synchronous frontier-batched path (asserted by the cross-mode equality
+tests): concurrency changes timing, never traffic semantics.  When
+messages are shared across queries, each participating query's trace is
+charged the full message (so per-trace sums can exceed wire totals —
+the transport's global counters remain the ground truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
+
+from repro.core import protocol
+from repro.core.keys import Key
+from repro.core.lattice import ExplorationOutcome
+from repro.core.ranking import RankedDocument, merge_and_rank
+from repro.core.retrieval import QueryTrace
+from repro.net.message import Message
+from repro.net.transport import DeliveryError
+from repro.sim.procs import Future, Proc, all_of
+from repro.util.stats import percentile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.network import AlvisNetwork
+
+__all__ = ["QueryJob", "AsyncQueryRuntime"]
+
+#: A probe outcome as the runtime moves it around: (found, postings,
+#: dropped).
+ProbeOutcome = Tuple[bool, Optional[object], bool]
+
+
+@dataclass
+class QueryJob:
+    """One query submitted to the runtime."""
+
+    origin: int
+    terms: List[str]
+    trace: QueryTrace
+    refine: bool
+    pool_k: int
+    results: Optional[List[RankedDocument]] = None
+    done: bool = False
+    #: Resolves with the job itself on completion.
+    future: Future = field(default_factory=Future)
+
+
+@dataclass
+class _LookupGrant:
+    """A dispatch queue's answer to one query's owner-resolution ask."""
+
+    owners: Dict[int, int]      #: key id -> owning *peer*
+    messages: int               #: hop messages that carried this ask's keys
+    bytes: int                  #: their total wire size
+
+
+class _LookupWaiter:
+    __slots__ = ("key_ids", "future")
+
+    def __init__(self, key_ids: List[int]):
+        self.key_ids = key_ids
+        self.future = Future()
+
+
+class _ProbeWaiter:
+    __slots__ = ("assignments", "future", "results", "remaining",
+                 "requests", "bytes_by_kind")
+
+    def __init__(self, assignments: List[Tuple[Key, int]]):
+        self.assignments = assignments      #: ordered (key, owner peer)
+        self.future = Future()
+        self.results: Dict[Key, ProbeOutcome] = {}
+        self.remaining = 0                  #: owner batches outstanding
+        self.requests = 0                   #: batches this ask rode in
+        self.bytes_by_kind: Dict[str, int] = {}
+
+
+@dataclass
+class _Prefetch:
+    """A speculative next-level owner resolution (level pipelining)."""
+
+    epoch: int                  #: membership epoch at launch
+    proc: Proc                  #: resolves to {key_id: owner peer}
+
+
+class _OriginDispatcher:
+    """Per-origin dispatch queue coalescing traffic across queries.
+
+    Lookups and probes enqueued within one ``dispatch_window`` flush
+    together: all pending lookups share one routed traversal, and all
+    pending probes to the same responsible peer share one ``ProbeBatch``
+    (duplicate keys from different queries are sent once and the reply
+    fanned back out).  With a single active query this degenerates to
+    exactly the synchronous engine's per-level batching.
+    """
+
+    def __init__(self, runtime: "AsyncQueryRuntime", origin: int):
+        self.runtime = runtime
+        self.origin = origin
+        self._pending_lookups: List[_LookupWaiter] = []
+        self._pending_probes: List[_ProbeWaiter] = []
+        self._flush_scheduled = False
+        #: Flushes and coalesced (deduplicated) probe keys, for the bench.
+        self.flushes = 0
+        self.coalesced_keys = 0
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, key_ids: List[int]) -> Future:
+        """Ask for owner resolution of ``key_ids``; resolves to a
+        :class:`_LookupGrant`."""
+        waiter = _LookupWaiter(list(key_ids))
+        self._pending_lookups.append(waiter)
+        self._schedule_flush()
+        return waiter.future
+
+    def probe(self, assignments: List[Tuple[Key, int]]) -> Future:
+        """Ask for probes of ``(key, owner)`` pairs; resolves to the
+        :class:`_ProbeWaiter` carrying per-key outcomes and charges."""
+        waiter = _ProbeWaiter(list(assignments))
+        self._pending_probes.append(waiter)
+        self._schedule_flush()
+        return waiter.future
+
+    # ------------------------------------------------------------------
+
+    def _schedule_flush(self) -> None:
+        if self._flush_scheduled:
+            return
+        self._flush_scheduled = True
+        simulator = self.runtime.network.simulator
+        window = self.runtime.network.config.dispatch_window
+        simulator.schedule(window, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        self.flushes += 1
+        lookups, self._pending_lookups = self._pending_lookups, []
+        probes, self._pending_probes = self._pending_probes, []
+        if lookups:
+            self._flush_lookups(lookups)
+        if probes:
+            self._flush_probes(probes)
+
+    # -- lookups --------------------------------------------------------
+
+    def _flush_lookups(self, waiters: List[_LookupWaiter]) -> None:
+        network = self.runtime.network
+        if not network.ring.contains(self.origin):
+            # The origin itself departed (crash mid-query): nothing can
+            # route from it any more.  Resolve via the ownership oracle
+            # with zero traffic — replies to the dead origin would be
+            # dropped anyway, so its queries wind down as dropped probes.
+            for waiter in waiters:
+                owners = {key_id: network.owner_peer_of_key(key_id)
+                          for key_id in waiter.key_ids}
+                waiter.future.resolve(_LookupGrant(owners=owners,
+                                                   messages=0, bytes=0))
+            return
+        union = list(dict.fromkeys(key_id for waiter in waiters
+                                   for key_id in waiter.key_ids))
+        proc = network.simulator.spawn(
+            network.ring.lookup_many_async(
+                self.origin, union, account=network.account_lookups),
+            name=f"lookup@{self.origin}")
+
+        def on_done(proc: Proc) -> None:
+            result = proc.result
+            batches = result.message_batches or []
+            sizes = result.message_bytes or []
+            for waiter in waiters:
+                key_set = set(waiter.key_ids)
+                owners = {key_id: network.peer_of_ring_node(
+                              result.owners[key_id])
+                          for key_id in waiter.key_ids}
+                messages = 0
+                total_bytes = 0
+                for batch, size in zip(batches, sizes):
+                    if key_set.intersection(batch):
+                        messages += 1
+                        total_bytes += size
+                waiter.future.resolve(_LookupGrant(
+                    owners=owners, messages=messages, bytes=total_bytes))
+
+        proc.add_done_callback(on_done)
+
+    # -- probes ---------------------------------------------------------
+
+    def _flush_probes(self, waiters: List[_ProbeWaiter]) -> None:
+        network = self.runtime.network
+        config = network.config
+        by_owner: Dict[int, List[Key]] = {}
+        seen: Dict[int, set] = {}
+        owner_waiters: Dict[int, List[_ProbeWaiter]] = {}
+        for waiter in waiters:
+            waiter_owners = []
+            for key, owner in waiter.assignments:
+                keys = by_owner.setdefault(owner, [])
+                marks = seen.setdefault(owner, set())
+                if key in marks:
+                    self.coalesced_keys += 1
+                else:
+                    marks.add(key)
+                    keys.append(key)
+                if owner not in waiter_owners:
+                    waiter_owners.append(owner)
+            waiter.remaining = len(waiter_owners)
+            for owner in waiter_owners:
+                owner_waiters.setdefault(owner, []).append(waiter)
+        timeout = config.request_timeout or None
+        for owner, keys in by_owner.items():
+            participants = owner_waiters[owner]
+            payload = {"keys": [list(key.terms) for key in keys]}
+            if owner == self.origin:
+                # Self-addressed probes short-circuit in memory, exactly
+                # like the synchronous path: no bytes, no latency.  A
+                # crashed origin cannot answer even itself.
+                try:
+                    reply, _rtt = network.send(self.origin, owner,
+                                               protocol.PROBE_BATCH,
+                                               payload)
+                except DeliveryError:
+                    self._deliver(owner, keys, participants, None,
+                                  dropped=True, request_bytes=0,
+                                  reply_bytes=0)
+                    continue
+                items = (reply["results"] if reply is not None else
+                         [{"found": False, "postings": None}
+                          for _key in keys])
+                self._deliver(owner, keys, participants, items,
+                              dropped=False, request_bytes=0,
+                              reply_bytes=0)
+                continue
+            message = Message(src=self.origin, dst=owner,
+                              kind=protocol.PROBE_BATCH, payload=payload)
+            request_bytes = message.size_bytes()
+            future = network.transport.request_async(message,
+                                                     timeout=timeout)
+            future.add_done_callback(
+                lambda resolved, owner=owner, keys=keys,
+                participants=participants, request_bytes=request_bytes:
+                    self._on_probe_outcome(owner, keys, participants,
+                                           resolved.value, request_bytes))
+
+    def _on_probe_outcome(self, owner: int, keys: List[Key],
+                          participants: List[_ProbeWaiter],
+                          outcome, request_bytes: int) -> None:
+        if outcome.ok and outcome.reply is not None:
+            self._deliver(owner, keys, participants,
+                          outcome.reply.payload["results"], dropped=False,
+                          request_bytes=request_bytes,
+                          reply_bytes=outcome.reply_bytes)
+        else:
+            # Churn drop or timeout: surfaced as dropped probes.
+            self._deliver(owner, keys, participants, None, dropped=True,
+                          request_bytes=request_bytes, reply_bytes=0)
+
+    def _deliver(self, owner: int, keys: List[Key],
+                 participants: List[_ProbeWaiter],
+                 items: Optional[List[Dict]], dropped: bool,
+                 request_bytes: int, reply_bytes: int) -> None:
+        results: Dict[Key, ProbeOutcome] = {}
+        if dropped:
+            for key in keys:
+                results[key] = (False, None, True)
+        else:
+            assert items is not None
+            for key, item in zip(keys, items):
+                found = bool(item["found"])
+                postings = item["postings"] if found else None
+                results[key] = (found, postings, False)
+        for waiter in participants:
+            for key, key_owner in waiter.assignments:
+                if key_owner == owner:
+                    waiter.results[key] = results[key]
+            waiter.requests += 1
+            _add_bytes(waiter.bytes_by_kind, protocol.PROBE_BATCH,
+                       request_bytes)
+            _add_bytes(waiter.bytes_by_kind, protocol.PROBE_BATCH_REPLY,
+                       reply_bytes)
+            waiter.remaining -= 1
+            if waiter.remaining == 0:
+                waiter.future.resolve(waiter)
+
+
+def _add_bytes(bucket: Dict[str, int], kind: str, nbytes: int) -> None:
+    if nbytes > 0:
+        bucket[kind] = bucket.get(kind, 0) + nbytes
+
+
+class AsyncQueryRuntime:
+    """Runs queries as concurrent processes on the network's event kernel."""
+
+    def __init__(self, network: "AlvisNetwork"):
+        self.network = network
+        self.active = 0
+        self.peak_active = 0
+        self.completed = 0
+        #: Clock-measured latency of every completed query, in order.
+        self.latencies: List[float] = []
+        self._dispatchers: Dict[int, _OriginDispatcher] = {}
+
+    # ------------------------------------------------------------------
+
+    def dispatcher(self, origin: int) -> _OriginDispatcher:
+        """The (lazily created) dispatch queue of ``origin``."""
+        dispatcher = self._dispatchers.get(origin)
+        if dispatcher is None:
+            dispatcher = _OriginDispatcher(self, origin)
+            self._dispatchers[origin] = dispatcher
+        return dispatcher
+
+    def coalesced_probe_keys(self) -> int:
+        """Probe keys absorbed by cross-query deduplication so far."""
+        return sum(dispatcher.coalesced_keys
+                   for dispatcher in self._dispatchers.values())
+
+    def latency_summary(self) -> Dict[str, float]:
+        """p50/p95/p99 of the completed queries' clock latencies."""
+        if not self.latencies:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {"p50": percentile(self.latencies, 50),
+                "p95": percentile(self.latencies, 95),
+                "p99": percentile(self.latencies, 99)}
+
+    # ------------------------------------------------------------------
+
+    def submit(self, origin: int, query: Union[str, Sequence[str]],
+               refine: Optional[bool] = None) -> QueryJob:
+        """Start one query as a process; returns its job immediately.
+
+        Drive the simulator (``network.simulator.run()`` or
+        :meth:`AlvisNetwork.run_queries`) to make it complete.
+        """
+        network = self.network
+        config = network.config
+        terms = (network.analyzer.analyze_query(query)
+                 if isinstance(query, str) else
+                 list(dict.fromkeys(query)))
+        if not terms:
+            raise ValueError(f"query {query!r} has no index terms")
+        do_refine = (config.refine_with_local_engines
+                     if refine is None else refine)
+        pool_k = (config.result_k * config.refine_pool_factor
+                  if do_refine else config.result_k)
+        job = QueryJob(origin=origin, terms=terms,
+                       trace=QueryTrace(query=Key(terms), origin=origin),
+                       refine=do_refine, pool_k=pool_k)
+        network.simulator.spawn(self._run_query(job),
+                                name=f"query@{origin}")
+        return job
+
+    # ------------------------------------------------------------------
+    # The query process
+    # ------------------------------------------------------------------
+
+    def _run_query(self, job: QueryJob):
+        network = self.network
+        trace = job.trace
+        trace.started_at = network.simulator.now
+        self.active += 1
+        self.peak_active = max(self.peak_active, self.active)
+        outcome, owners = yield from self._explore(job)
+        trace.probes = [(record.key, record.status)
+                        for record in outcome.records]
+        if network.mode == "qdi":
+            self._send_feedback(job, outcome, owners)
+        results = merge_and_rank(outcome.retrieved, trace.query,
+                                 job.pool_k)
+        # Lazy cleanup, exactly like the synchronous path: drop results
+        # whose holder departed.
+        results = [document for document in results
+                   if network.doc_owner(document.doc_id) is not None]
+        if job.refine and results:
+            results = yield from self._refine(job, results)
+            results = results[: network.config.result_k]
+            trace.refined = True
+        trace.results = results
+        job.results = results
+        trace.finished_at = network.simulator.now
+        trace.latency = trace.finished_at - trace.started_at
+        self.active -= 1
+        self.completed += 1
+        self.latencies.append(trace.latency)
+        job.done = True
+        job.future.resolve(job)
+        return job
+
+    def _explore(self, job: QueryJob):
+        """Async lattice exploration (mirrors the batched sync explorer).
+
+        Record order, exclusion handling and the early-termination test
+        replicate :meth:`LatticeExplorer.explore` with a level-probe
+        callback, so for identical index state the outcome is identical
+        to the synchronous engine's.
+        """
+        network = self.network
+        config = network.config
+        engine = network.retrieval.engine
+        explorer = engine.explorer
+        trace = job.trace
+        origin = job.origin
+        terms = list(dict.fromkeys(job.terms))[: explorer.max_lattice_terms]
+        query = Key(terms)
+        outcome = ExplorationOutcome(query=query)
+        excluded: set = set()
+        owners: Dict[Key, int] = {}
+        levels = Key.lattice_levels(terms)
+        should_stop = (engine._make_stop_test(origin, query, job.pool_k)
+                       if config.topk_early_stop else None)
+        cache = engine._origin_cache(origin)
+        prefetch: Optional[_Prefetch] = None
+        for depth, level in enumerate(levels):
+            current_prefetch, prefetch = prefetch, None
+            frontier = [key for key in level if key not in excluded]
+            results: Dict[Key, ProbeOutcome] = {}
+            misses: List[Key] = []
+            for key in frontier:
+                cached = engine.cache_get(cache, trace, key)
+                if cached is not None:
+                    results[key] = (cached[0], cached[1], False)
+                else:
+                    misses.append(key)
+            probe_future = None
+            if misses:
+                prefetched: Dict[int, int] = {}
+                if (current_prefetch is not None
+                        and current_prefetch.epoch
+                        == network.ring.membership_epoch):
+                    # Owners resolved speculatively during the previous
+                    # level; invalidated wholesale by any membership
+                    # change since launch.
+                    prefetched = yield current_prefetch.proc
+                needed = [key for key in misses
+                          if key.key_id not in prefetched]
+                owners_by_id = dict(prefetched)
+                if needed:
+                    resolved = yield from self._resolve_owners(
+                        job, [key.key_id for key in needed])
+                    owners_by_id.update(resolved)
+                assignments = []
+                for key in misses:
+                    owner = owners_by_id[key.key_id]
+                    owners[key] = owner
+                    assignments.append((key, owner))
+                probe_future = self.dispatcher(origin).probe(assignments)
+            if (config.pipeline_levels and depth + 1 < len(levels)):
+                candidates = [key for key in levels[depth + 1]
+                              if key not in excluded]
+                if candidates:
+                    prefetch = self._launch_prefetch(job, candidates)
+            if probe_future is not None:
+                waiter = yield probe_future
+                trace.request_messages += waiter.requests
+                for kind, nbytes in waiter.bytes_by_kind.items():
+                    self._charge(trace, kind, nbytes)
+                for key in misses:
+                    found, postings, dropped = waiter.results[key]
+                    results[key] = (found, postings, dropped)
+                    if not dropped:
+                        engine.cache_put(cache, key, found, postings)
+            # Classification, pruning and the stop test go through the
+            # explorer's shared building blocks, so the async path can
+            # never diverge from the synchronous record semantics.
+            explorer.record_level(level, results, outcome, excluded)
+            if should_stop is None:
+                continue
+            remaining = explorer.remaining_after(levels, depth, excluded)
+            if remaining and should_stop(outcome, remaining):
+                explorer.prune_remaining(levels, depth, outcome,
+                                         excluded)
+                break
+        return outcome, owners
+
+    def _resolve_owners(self, job: QueryJob, key_ids: List[int]):
+        """Resolve responsible peers through the dispatch queue.
+
+        Honors the origin's key->owner lookup cache exactly like the
+        synchronous :meth:`AlvisNetwork.lookup_owners`; returns
+        ``{key_id: owner peer}`` and charges the trace for the hop
+        messages that carried this query's keys.
+        """
+        network = self.network
+        config = network.config
+        trace = job.trace
+        unique = list(dict.fromkeys(key_ids))
+        owners: Dict[int, int] = {}
+        cache: Optional[Dict[int, int]] = None
+        if config.cache_lookups:
+            cache = network._fresh_lookup_cache(job.origin)
+            for key_id in unique:
+                cached_owner = cache.get(key_id)
+                if cached_owner is not None:
+                    owners[key_id] = cached_owner
+        misses = [key_id for key_id in unique if key_id not in owners]
+        if misses:
+            grant = yield self.dispatcher(job.origin).lookup(misses)
+            trace.lookup_hops += grant.messages
+            self._charge(trace, protocol.LOOKUP_HOP, grant.bytes)
+            for key_id in misses:
+                owner = grant.owners[key_id]
+                owners[key_id] = owner
+                if cache is not None and \
+                        len(cache) < config.lookup_cache_size:
+                    cache[key_id] = owner
+        return owners
+
+    def _launch_prefetch(self, job: QueryJob,
+                         candidates: List[Key]) -> _Prefetch:
+        """Start next-level owner resolution while probes are in flight."""
+        proc = self.network.simulator.spawn(
+            self._resolve_owners(job,
+                                 [key.key_id for key in candidates]),
+            name=f"prefetch@{job.origin}")
+        return _Prefetch(epoch=self.network.ring.membership_epoch,
+                         proc=proc)
+
+    # ------------------------------------------------------------------
+    # Post-exploration steps
+    # ------------------------------------------------------------------
+
+    def _send_feedback(self, job: QueryJob, outcome: ExplorationOutcome,
+                       owners: Dict[Key, int]) -> None:
+        """QDI popularity feedback, fired without blocking completion."""
+        network = self.network
+        trace = job.trace
+        for key in outcome.missing_keys():
+            if len(key) < 2:
+                continue
+            owner = owners.get(key)
+            if owner is None:
+                continue
+            redundant = outcome.covered_by_untruncated(key)
+            payload = {"key_terms": list(key.terms),
+                       "redundant": redundant}
+            trace.request_messages += 1
+            if owner == job.origin:
+                try:
+                    network.send(job.origin, owner, protocol.FEEDBACK,
+                                 payload)
+                except DeliveryError:
+                    pass        # origin crashed mid-query
+                continue
+            message = Message(src=job.origin, dst=owner,
+                              kind=protocol.FEEDBACK, payload=payload)
+            self._charge(trace, protocol.FEEDBACK, message.size_bytes())
+            network.transport.request_async(message)
+
+    def _refine(self, job: QueryJob, results: List[RankedDocument]):
+        """Second retrieval step, one concurrent wave of exact scoring."""
+        network = self.network
+        config = network.config
+        trace = job.trace
+        by_owner: Dict[int, List[int]] = {}
+        for document in results:
+            owner = network.doc_owner(document.doc_id)
+            if owner is not None:
+                by_owner.setdefault(owner, []).append(document.doc_id)
+        exact_scores: Dict[int, float] = {}
+        futures = []
+        for owner, doc_ids in by_owner.items():
+            payload = {"terms": job.terms, "doc_ids": doc_ids}
+            trace.request_messages += 1
+            if owner == job.origin:
+                try:
+                    reply, _rtt = network.send(job.origin, owner,
+                                               protocol.REFINE_QUERY,
+                                               payload)
+                except DeliveryError:
+                    continue    # origin crashed mid-query
+                if reply is not None:
+                    for doc_id, score in reply["scores"].items():
+                        exact_scores[int(doc_id)] = float(score)
+                continue
+            message = Message(src=job.origin, dst=owner,
+                              kind=protocol.REFINE_QUERY, payload=payload)
+            self._charge(trace, protocol.REFINE_QUERY,
+                         message.size_bytes())
+            futures.append(network.transport.request_async(
+                message, timeout=config.request_timeout or None))
+        if futures:
+            outcomes = yield all_of(futures)
+            for outcome in outcomes:
+                if outcome.ok and outcome.reply is not None:
+                    self._charge(trace, protocol.REFINE_REPLY,
+                                 outcome.reply_bytes)
+                    for doc_id, score in \
+                            outcome.reply.payload["scores"].items():
+                        exact_scores[int(doc_id)] = float(score)
+        refined = [RankedDocument(
+            doc_id=document.doc_id,
+            score=exact_scores.get(document.doc_id, document.score),
+            covering_keys=document.covering_keys)
+            for document in results]
+        refined.sort(key=lambda document: (-document.score,
+                                           document.doc_id))
+        return refined
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _charge(trace: QueryTrace, kind: str, nbytes: int) -> None:
+        """Attribute ``nbytes`` of ``kind`` traffic to one query's trace."""
+        if nbytes <= 0:
+            return
+        trace.bytes_sent += int(nbytes)
+        trace.bytes_by_kind[kind] = (trace.bytes_by_kind.get(kind, 0)
+                                     + int(nbytes))

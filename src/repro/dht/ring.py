@@ -18,6 +18,7 @@ from repro.dht.node import DHTNode
 from repro.dht.routing import FingerTableStrategy, HopSpaceFingers
 from repro.net.message import Message
 from repro.net.transport import Transport
+from repro.sim.procs import all_of
 
 __all__ = ["LookupResult", "BatchLookupResult", "DHTRing"]
 
@@ -47,6 +48,14 @@ class BatchLookupResult:
     owners: Dict[int, int]          #: key id -> owning node id
     messages: int                   #: routed hop messages for the batch
     per_key_hops: Dict[int, int]    #: key id -> individual path length
+    #: Key ids carried by each hop message, in send order — lets callers
+    #: that share one round across several queries attribute messages to
+    #: the queries whose keys travelled in them.  ``None`` when the
+    #: caller did not ask for it.
+    message_batches: Optional[List[List[int]]] = None
+    #: Wire size of each hop message (0 when routing is unaccounted),
+    #: aligned with ``message_batches``.
+    message_bytes: Optional[List[int]] = None
 
     @property
     def total_hops(self) -> int:
@@ -266,3 +275,128 @@ class DHTRing:
             frontier = next_frontier
         return BatchLookupResult(owners=owners, messages=messages,
                                  per_key_hops=per_key_hops)
+
+    def lookup_many_async(self, source_id: int, key_ids: Iterable[int],
+                          account: bool = True):
+        """Async (sim-proc) variant of :meth:`lookup_many`.
+
+        A generator to be driven by :meth:`repro.sim.events.Simulator.spawn`
+        (or ``yield from`` inside another proc): each routing round sends
+        its shared ``LookupHop`` messages through
+        :meth:`~repro.net.transport.Transport.request_async` and *waits*
+        for their delivery before advancing the frontier, so lookups from
+        different queries genuinely interleave in virtual time.  With an
+        unchanged membership the hop sequence — and therefore the routed
+        messages and their sizes — is identical to the synchronous
+        :meth:`lookup_many`.
+
+        Churn mid-lookup is handled gracefully instead of raising:
+
+        * a hop whose destination departed the ring re-routes its keys
+          from the sending node (tables refreshed) on the next round;
+        * a hop whose destination is still a ring member but has no
+          transport endpoint (a half-dead peer) falls back to the
+          ownership oracle for its keys — the subsequent probe to that
+          owner will surface the drop;
+        * keys stranded at a node that itself departed restart from the
+          source, or fall back to the oracle when the source is gone.
+
+        Returns (via ``StopIteration`` / proc result) a
+        :class:`BatchLookupResult` with ``message_batches`` and
+        ``message_bytes`` populated.
+        """
+        self.ensure_tables()
+        if source_id not in self._nodes:
+            raise KeyError(f"source node {source_id} not present")
+        pending = sorted(set(key_ids))
+        owners: Dict[int, int] = {}
+        per_key_hops: Dict[int, int] = {key_id: 0 for key_id in pending}
+        message_batches: List[List[int]] = []
+        message_bytes: List[int] = []
+        frontier: Dict[int, List[int]] = {source_id: pending}
+        messages = 0
+        rounds = 0
+        max_rounds = 2 * ID_BITS + self.size
+        while frontier:
+            rounds += 1
+            if rounds > max_rounds:
+                unresolved = sorted(key_id for keys in frontier.values()
+                                    for key_id in keys)
+                raise RuntimeError(
+                    f"async batched lookup exceeded {max_rounds} rounds "
+                    f"for keys {unresolved[:4]}...; routing tables are "
+                    "inconsistent")
+            hops: List[Tuple[int, int, List[int]]] = []
+            for node_id in sorted(frontier):
+                node = self._nodes.get(node_id)
+                if node is None:
+                    # The routing node departed while keys were headed to
+                    # it; restart from the source or fall back to the
+                    # ownership oracle.
+                    for key_id in frontier[node_id]:
+                        if source_id in self._nodes:
+                            hops.append((source_id, source_id, [key_id]))
+                        else:
+                            owners[key_id] = self.successor_of(key_id)
+                    continue
+                predecessor = self.predecessor_of(node_id)
+                by_next: Dict[int, List[int]] = {}
+                for key_id in frontier[node_id]:
+                    if node.owns(key_id, predecessor):
+                        owners[key_id] = node_id
+                        continue
+                    next_id = node.next_hop(key_id)
+                    if next_id is None:
+                        next_id = node.successor
+                    by_next.setdefault(next_id, []).append(key_id)
+                for next_id in sorted(by_next):
+                    hops.append((node_id, next_id, by_next[next_id]))
+            # Restart hops (node_id == next_id) carry no message; they
+            # just re-enter the frontier at the source.
+            sends = []
+            for node_id, next_id, batch in hops:
+                if node_id == next_id:
+                    sends.append((None, node_id, next_id, batch))
+                    continue
+                messages += 1
+                message_batches.append(list(batch))
+                for key_id in batch:
+                    per_key_hops[key_id] += 1
+                if account and self.transport is not None:
+                    hop_message = Message(src=node_id, dst=next_id,
+                                          kind="LookupHop",
+                                          payload={"key_ids": batch})
+                    message_bytes.append(hop_message.size_bytes())
+                    sends.append((self.transport.request_async(hop_message),
+                                  node_id, next_id, batch))
+                else:
+                    message_bytes.append(0)
+                    sends.append((None, node_id, next_id, batch))
+            futures = [future for future, *_rest in sends
+                       if future is not None]
+            if futures:
+                yield all_of(futures)
+            self.ensure_tables()    # membership may have moved mid-flight
+            next_frontier: Dict[int, List[int]] = {}
+            for future, node_id, next_id, batch in sends:
+                if future is not None and not future.value.ok:
+                    if self.contains(next_id):
+                        # Half-dead: in the ring but unreachable — the
+                        # oracle owner is the best answer we can route to.
+                        for key_id in batch:
+                            owners[key_id] = self.successor_of(key_id)
+                    elif node_id in self._nodes:
+                        next_frontier.setdefault(node_id, []).extend(batch)
+                    elif source_id in self._nodes:
+                        next_frontier.setdefault(source_id,
+                                                 []).extend(batch)
+                    else:
+                        for key_id in batch:
+                            owners[key_id] = self.successor_of(key_id)
+                else:
+                    next_frontier.setdefault(next_id, []).extend(batch)
+            frontier = next_frontier
+        return BatchLookupResult(owners=owners, messages=messages,
+                                 per_key_hops=per_key_hops,
+                                 message_batches=message_batches,
+                                 message_bytes=message_bytes)

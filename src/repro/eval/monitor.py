@@ -50,6 +50,15 @@ class NetworkSnapshot:
     cache_evictions: int = 0
     cache_invalidations: int = 0
     cache_bytes_used: int = 0
+    #: Async query runtime: completed/active queries, outstanding async
+    #: requests, and clock-measured latency percentiles.
+    queries_completed: int = 0
+    queries_active: int = 0
+    peak_queries_active: int = 0
+    requests_in_flight: int = 0
+    query_latency_p50: float = 0.0
+    query_latency_p95: float = 0.0
+    query_latency_p99: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -74,6 +83,13 @@ class NetworkSnapshot:
             "cache_evictions": float(self.cache_evictions),
             "cache_invalidations": float(self.cache_invalidations),
             "cache_bytes_used": float(self.cache_bytes_used),
+            "queries_completed": float(self.queries_completed),
+            "queries_active": float(self.queries_active),
+            "peak_queries_active": float(self.peak_queries_active),
+            "requests_in_flight": float(self.requests_in_flight),
+            "query_latency_p50": self.query_latency_p50,
+            "query_latency_p95": self.query_latency_p95,
+            "query_latency_p99": self.query_latency_p99,
         }
         flat.update({f"traffic_{name}": value
                      for name, value in self.traffic.as_dict().items()})
@@ -112,6 +128,8 @@ class NetworkMonitor:
             peer.qdi.stats.evictions for peer in network.peers()
             if peer.qdi is not None)
         cache_stats = [peer.probe_cache.stats for peer in network.peers()]
+        runtime = network.runtime
+        latency = runtime.latency_summary()
         observed = NetworkSnapshot(
             num_peers=network.num_peers,
             num_documents=network.total_documents(),
@@ -135,6 +153,13 @@ class NetworkMonitor:
                                     for stats in cache_stats),
             cache_bytes_used=sum(peer.probe_cache.used_bytes
                                  for peer in network.peers()),
+            queries_completed=runtime.completed,
+            queries_active=runtime.active,
+            peak_queries_active=runtime.peak_active,
+            requests_in_flight=network.transport.total_inflight(),
+            query_latency_p50=latency["p50"],
+            query_latency_p95=latency["p95"],
+            query_latency_p99=latency["p99"],
         )
         self.history.append(observed)
         return observed
@@ -180,6 +205,15 @@ class NetworkMonitor:
             lines.append(
                 f"QDI: {snapshot.qdi_activations} activations, "
                 f"{snapshot.qdi_evictions} evictions")
+        if snapshot.queries_completed or snapshot.queries_active:
+            lines.append(
+                f"async runtime: {snapshot.queries_completed} queries "
+                f"completed, {snapshot.queries_active} active "
+                f"(peak {snapshot.peak_queries_active}), "
+                f"{snapshot.requests_in_flight} requests in flight; "
+                f"latency p50 {snapshot.query_latency_p50:.3f}s / "
+                f"p95 {snapshot.query_latency_p95:.3f}s / "
+                f"p99 {snapshot.query_latency_p99:.3f}s")
         if snapshot.cache_hits or snapshot.cache_misses:
             lines.append(
                 f"probe cache: {snapshot.cache_hits} hits / "

@@ -14,6 +14,14 @@ Two delivery modes are offered:
   event queue after a sampled latency.  The DHT congestion-control
   experiment (E8) uses this mode, where queueing effects matter.
 
+* :meth:`Transport.request_async` — the correlated request/reply API the
+  async query runtime builds on: every call gets a request id and a
+  :class:`~repro.sim.procs.Future` that resolves with a
+  :class:`RequestOutcome` when the reply arrives (or, for one-way
+  messages, on delivery).  Churn drops and timeouts are *surfaced* in
+  the outcome instead of raising, and per-destination in-flight counts
+  are tracked for the monitoring dashboard.
+
 Every byte is accounted twice over: globally per message kind
 (``net.bytes.sent.<kind>``) and per destination peer (for load-balance
 metrics).
@@ -21,18 +29,50 @@ metrics).
 
 from __future__ import annotations
 
+import itertools
 import random
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Protocol, Tuple
 
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
 from repro.sim.events import Simulator
+from repro.sim.procs import Future
 
-__all__ = ["DeliveryError", "Endpoint", "Transport"]
+__all__ = ["DeliveryError", "Endpoint", "RequestOutcome", "Transport"]
 
 
 class DeliveryError(Exception):
     """Raised when a message is addressed to an unknown or dead endpoint."""
+
+
+@dataclass
+class RequestOutcome:
+    """Resolution of one :meth:`Transport.request_async` call.
+
+    ``status`` is ``"ok"`` (reply received, or one-way delivery
+    confirmed), ``"dropped"`` (the destination unregistered before
+    delivery — churn), or ``"timeout"``.  ``rtt`` is the virtual time
+    between send and resolution.
+    """
+
+    request_id: int
+    status: str
+    request: Message
+    reply: Optional[Message]
+    rtt: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def request_bytes(self) -> int:
+        return self.request.size_bytes()
+
+    @property
+    def reply_bytes(self) -> int:
+        return self.reply.size_bytes() if self.reply is not None else 0
 
 
 class Endpoint(Protocol):
@@ -60,6 +100,9 @@ class Transport:
         #: Per-peer inbound traffic, for load-balance experiments.
         self.bytes_in: Dict[int, int] = {}
         self.msgs_in: Dict[int, int] = {}
+        #: Outstanding :meth:`request_async` calls per destination.
+        self._inflight: Dict[int, int] = {}
+        self._request_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Membership
@@ -98,11 +141,26 @@ class Transport:
         self.msgs_in[message.dst] = self.msgs_in.get(message.dst, 0) + 1
 
     def reset_load_counters(self) -> None:
-        """Zero the per-peer inbound counters (between experiment phases)."""
-        for peer_id in self.bytes_in:
-            self.bytes_in[peer_id] = 0
-        for peer_id in self.msgs_in:
-            self.msgs_in[peer_id] = 0
+        """Zero the per-peer inbound counters (between experiment phases).
+
+        Entries for peers that have since unregistered are pruned rather
+        than zeroed: under sustained churn the counter dicts would
+        otherwise grow monotonically with every peer that ever existed.
+        """
+        self.bytes_in = {peer_id: 0 for peer_id in self._endpoints}
+        self.msgs_in = {peer_id: 0 for peer_id in self._endpoints}
+
+    # ------------------------------------------------------------------
+    # In-flight tracking (async requests)
+    # ------------------------------------------------------------------
+
+    def inflight(self, peer_id: int) -> int:
+        """Outstanding async requests addressed to ``peer_id``."""
+        return self._inflight.get(peer_id, 0)
+
+    def total_inflight(self) -> int:
+        """Outstanding async requests across all destinations."""
+        return sum(self._inflight.values())
 
     # ------------------------------------------------------------------
     # Synchronous request/response
@@ -147,17 +205,34 @@ class Transport:
 
     def send_async(self, message: Message,
                    on_reply: Optional[Callable[[Message], None]] = None,
-                   on_drop: Optional[Callable[[Message], None]] = None) -> None:
+                   on_drop: Optional[Callable[[Message], None]] = None,
+                   on_delivered: Optional[
+                       Callable[[Message, Optional[Message]], None]] = None
+                   ) -> None:
         """Schedule delivery of ``message`` through the event queue.
 
         If the destination handler returns a reply and ``on_reply`` is
         given, the reply is scheduled back to the caller after its own
         latency.  If the destination vanished by delivery time (churn),
-        ``on_drop`` is invoked instead of raising.
+        ``on_drop`` is invoked instead of raising.  ``on_delivered`` is
+        invoked right after the destination handler ran, with the reply
+        it returned (not yet delivered back) — the hook one-way
+        protocols use to learn their message arrived.
+
+        The reply leg is symmetric: if the *requester* unregisters while
+        the reply is in flight, the reply is dropped (``on_drop`` with
+        the original request) instead of resurrecting the departed peer.
         """
         self._account(message)
         delay = self.latency.delay(self.rng, message.src, message.dst,
                                    message.size_bytes())
+
+        def deliver_reply(reply: Message) -> None:
+            if reply.dst not in self._endpoints:
+                if on_drop is not None:
+                    on_drop(message)
+                return
+            on_reply(reply)
 
         def deliver() -> None:
             endpoint = self._endpoints.get(message.dst)
@@ -171,6 +246,58 @@ class Transport:
                 reply_delay = self.latency.delay(
                     self.rng, reply.src, reply.dst, reply.size_bytes())
                 self.simulator.schedule(reply_delay,
-                                        lambda: on_reply(reply))
+                                        lambda: deliver_reply(reply))
+            if on_delivered is not None:
+                on_delivered(message, reply)
 
         self.simulator.schedule(delay, deliver)
+
+    def request_async(self, message: Message,
+                      timeout: Optional[float] = None) -> Future:
+        """Send ``message`` and return a future for its outcome.
+
+        The future resolves with a :class:`RequestOutcome`:
+
+        * on reply arrival (``status="ok"``, ``reply`` set);
+        * on delivery, when the handler returned no reply — one-way
+          traffic (``status="ok"``, ``reply=None``);
+        * when the destination unregistered before delivery
+          (``status="dropped"``) — churn surfaced to the caller instead
+          of a :class:`DeliveryError`;
+        * after ``timeout`` virtual seconds without any of the above
+          (``status="timeout"``); a reply arriving later is discarded.
+
+        Per-destination in-flight counts (:meth:`inflight`) cover the
+        send-to-resolution window.
+        """
+        future = Future()
+        request_id = next(self._request_ids)
+        sent_at = self.simulator.now
+        dst = message.dst
+        self._inflight[dst] = self._inflight.get(dst, 0) + 1
+        timeout_event = [None]
+
+        def finish(status: str, reply: Optional[Message]) -> None:
+            if future.done:
+                return          # late reply after timeout/drop
+            remaining = self._inflight.get(dst, 0) - 1
+            if remaining > 0:
+                self._inflight[dst] = remaining
+            else:
+                self._inflight.pop(dst, None)
+            if timeout_event[0] is not None:
+                timeout_event[0].cancel()
+            future.resolve(RequestOutcome(
+                request_id=request_id, status=status, request=message,
+                reply=reply, rtt=self.simulator.now - sent_at))
+
+        self.send_async(
+            message,
+            on_reply=lambda reply: finish("ok", reply),
+            on_drop=lambda _message: finish("dropped", None),
+            on_delivered=lambda _message, reply:
+                finish("ok", None) if reply is None else None)
+        if timeout is not None and timeout > 0:
+            timeout_event[0] = self.simulator.schedule(
+                timeout, lambda: finish("timeout", None))
+        return future

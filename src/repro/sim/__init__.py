@@ -9,6 +9,7 @@ transport and :mod:`repro.dht` a structured overlay.
 from repro.sim.clock import VirtualClock
 from repro.sim.events import Event, EventQueue, Simulator
 from repro.sim.metrics import Counter, Histogram, MetricsRegistry
+from repro.sim.procs import Future, Proc, all_of
 
 __all__ = [
     "VirtualClock",
@@ -18,4 +19,7 @@ __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "Future",
+    "Proc",
+    "all_of",
 ]

@@ -10,10 +10,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, Generator, List, Optional, TYPE_CHECKING
 
 from repro.sim.clock import VirtualClock
 from repro.sim.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.procs import Proc
 
 __all__ = ["Event", "EventQueue", "Simulator"]
 
@@ -30,31 +33,56 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set by the owning queue so it can keep a live non-cancelled count
+    #: without scanning the heap; cleared once the event is popped or
+    #: its cancellation is observed.
+    _on_cancel: Optional[Callable[[], None]] = field(default=None,
+                                                     compare=False,
+                                                     repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
+            self._on_cancel = None
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` objects."""
+    """Min-heap of :class:`Event` objects.
+
+    Keeps a live non-cancelled counter so ``len``/``bool`` — called from
+    hot simulation loops — are O(1) instead of a full heap scan.
+    """
 
     def __init__(self):
         self._heap: List[Event] = []
         self._sequence = itertools.count()
+        self._live = 0
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at ``time`` and return its handle."""
         event = Event(time=time, sequence=next(self._sequence),
                       callback=callback)
+        event._on_cancel = self._note_cancel
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
 
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or ``None`` when empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                # Detach the cancel hook: cancelling an already-executed
+                # event must not corrupt the live counter.
+                event._on_cancel = None
+                self._live -= 1
                 return event
         return None
 
@@ -67,10 +95,10 @@ class EventQueue:
         return self._heap[0].time
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return self._live > 0
 
 
 class Simulator:
@@ -110,6 +138,16 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past: {time} < {self.clock.now}")
         return self.queue.push(time, callback)
+
+    def spawn(self, generator: Generator[Any, Any, Any],
+              name: Optional[str] = None) -> "Proc":
+        """Start a generator-driven process (see :mod:`repro.sim.procs`).
+
+        The proc's first step runs as a zero-delay event, so spawning is
+        never re-entrant; drive the simulator to make progress.
+        """
+        from repro.sim.procs import Proc
+        return Proc(self, generator, name=name)
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or ``max_events`` fire).

@@ -1,0 +1,163 @@
+"""Lightweight processes ("procs") on the discrete-event kernel.
+
+Multi-step protocols written directly against the event queue dissolve
+into callback chains; a proc is a plain generator driven by the
+simulator instead, so a routed lookup or a whole query reads linearly:
+
+    def ping(simulator, transport):
+        outcome = yield transport.request_async(message)
+        yield 0.5                        # virtual-time sleep
+        return outcome.rtt
+
+    proc = simulator.spawn(ping(simulator, transport))
+    simulator.run()
+    assert proc.done
+
+A proc may ``yield``:
+
+* a number — sleep that many virtual seconds;
+* ``None`` — yield control, resuming at the same virtual time (after
+  already-queued same-time events);
+* a :class:`Future` — resume with the future's value once resolved;
+* another :class:`Proc` — resume with that proc's result when it
+  completes;
+
+and ``return`` a value, which becomes :attr:`Proc.result`.  Nested
+generators compose with ``yield from``.  Completion callbacks
+(:meth:`Proc.add_done_callback`) let non-proc code observe the end of a
+process, mirroring :meth:`Future.add_done_callback`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (events imports us lazily)
+    from repro.sim.events import Simulator
+
+__all__ = ["Future", "Proc", "all_of"]
+
+
+class Future:
+    """A single-assignment value that callbacks (and procs) can await."""
+
+    __slots__ = ("done", "value", "_callbacks")
+
+    def __init__(self):
+        self.done = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    def resolve(self, value: Any = None) -> None:
+        """Set the value and run the registered callbacks (once, in order)."""
+        if self.done:
+            raise RuntimeError("future already resolved")
+        self.done = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Run ``callback(self)`` on resolution (immediately if resolved)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = f"value={self.value!r}" if self.done else "pending"
+        return f"Future({state})"
+
+
+def all_of(futures: Iterable[Future]) -> Future:
+    """A future resolving with the values of ``futures``, in their order.
+
+    Resolves immediately (with ``[]``) when the iterable is empty — a
+    frontier round with nothing in flight must not stall its proc.
+    """
+    pending = list(futures)
+    combined = Future()
+    if not pending:
+        combined.resolve([])
+        return combined
+    remaining = [len(pending)]
+
+    def on_done(_future: Future) -> None:
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            combined.resolve([future.value for future in pending])
+
+    for future in pending:
+        future.add_done_callback(on_done)
+    return combined
+
+
+class Proc:
+    """One generator-driven process, stepped by the event kernel.
+
+    The first step is scheduled at spawn time (zero delay), so a proc
+    never runs re-entrantly inside the spawning call; everything after
+    that is driven by the awaited futures/sleeps.
+    """
+
+    def __init__(self, simulator: "Simulator",
+                 generator: Generator[Any, Any, Any],
+                 name: Optional[str] = None):
+        self.simulator = simulator
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self._generator = generator
+        self._callbacks: List[Callable[["Proc"], None]] = []
+        simulator.schedule(0.0, lambda: self._advance(None))
+
+    # ------------------------------------------------------------------
+
+    def add_done_callback(self, callback: Callable[["Proc"], None]) -> None:
+        """Run ``callback(self)`` when the proc completes."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, send_value: Any) -> None:
+        try:
+            yielded = self._generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        if isinstance(yielded, Future):
+            yielded.add_done_callback(
+                lambda future: self._advance(future.value))
+        elif isinstance(yielded, Proc):
+            yielded.add_done_callback(
+                lambda proc: self._advance(proc.result))
+        elif yielded is None:
+            self.simulator.schedule(0.0, lambda: self._advance(None))
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise ValueError(
+                    f"proc {self.name or self._generator!r} slept for "
+                    f"negative time {yielded}")
+            self.simulator.schedule(float(yielded),
+                                    lambda: self._advance(None))
+        else:
+            raise TypeError(
+                f"proc {self.name or self._generator!r} yielded "
+                f"unsupported value {yielded!r} (expected a Future, a "
+                "Proc, a non-negative number, or None)")
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        label = self.name or "proc"
+        state = f"result={self.result!r}" if self.done else "running"
+        return f"Proc({label}, {state})"

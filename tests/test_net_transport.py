@@ -65,10 +65,21 @@ class _Echo:
         return message.reply("Echo", dict(message.payload))
 
 
-def _make_transport():
+class _Sink:
+    """Accepts anything, replies to nothing (a quiet requester)."""
+
+    def on_message(self, message):
+        return None
+
+
+def _make_transport(register_requester=False):
     simulator = Simulator()
     transport = Transport(simulator, ConstantLatency(0.1),
                           random.Random(0))
+    if register_requester:
+        # Async replies are only delivered to live endpoints, so tests
+        # expecting a reply back at peer 1 must register it.
+        transport.register(1, _Sink())
     return simulator, transport
 
 
@@ -126,6 +137,20 @@ class TestTransportSync:
         assert transport.msgs_in[2] == 0
         assert transport.bytes_in[2] == 0
 
+    def test_reset_load_counters_prunes_departed_peers(self):
+        # Regression: counters for long-departed peers used to survive
+        # every reset, growing the dicts forever under churn.
+        _sim, transport = _make_transport()
+        transport.register(2, _Echo())
+        transport.register(3, _Echo())
+        transport.request(Message(src=1, dst=2, kind="Ping", payload={}))
+        transport.request(Message(src=1, dst=3, kind="Ping", payload={}))
+        transport.unregister(3)
+        transport.reset_load_counters()
+        assert 3 not in transport.msgs_in
+        assert 3 not in transport.bytes_in
+        assert transport.msgs_in[2] == 0
+
     def test_send_local_no_bytes(self):
         simulator, transport = _make_transport()
         transport.register(2, _Echo())
@@ -145,7 +170,7 @@ class TestTransportSync:
 
 class TestTransportAsync:
     def test_async_delivery_after_latency(self):
-        simulator, transport = _make_transport()
+        simulator, transport = _make_transport(register_requester=True)
         echo = _Echo()
         transport.register(2, echo)
         replies = []
@@ -176,3 +201,171 @@ class TestTransportAsync:
                                      payload={}))
         simulator.run()  # must not raise
         assert simulator.metrics.counter_value("net.msgs.sent") == 1
+
+    def test_reply_scheduling_order_follows_latency(self):
+        # Two sends at t=0 with per-destination latencies: the reply of
+        # the nearer destination arrives first even though it was sent
+        # second.
+        import random as random_module
+
+        class _PerDestLatency:
+            def delay(self, rng, src, dst, size):
+                return 0.3 if dst == 2 else 0.1
+
+        simulator = Simulator()
+        transport = Transport(simulator, _PerDestLatency(),
+                              random_module.Random(0))
+        transport.register(1, _Sink())
+        transport.register(2, _Echo())
+        transport.register(3, _Echo())
+        arrivals = []
+        transport.send_async(
+            Message(src=1, dst=2, kind="Ping", payload={"n": 2}),
+            on_reply=lambda reply: arrivals.append((reply.src,
+                                                    simulator.now)))
+        transport.send_async(
+            Message(src=1, dst=3, kind="Ping", payload={"n": 3}),
+            on_reply=lambda reply: arrivals.append((reply.src,
+                                                    simulator.now)))
+        simulator.run()
+        # dst=3 request leg 0.1 + reply leg (dst=1) 0.1; dst=2 request
+        # leg 0.3 + reply leg 0.1.
+        assert arrivals == [(3, pytest.approx(0.2)),
+                            (2, pytest.approx(0.4))]
+
+    def test_async_drop_between_send_and_delivery(self):
+        # The destination is alive at send time and unregisters while
+        # the message is in flight: on_drop, never an exception, and no
+        # reply bytes are accounted.
+        simulator, transport = _make_transport()
+        transport.register(2, _Echo())
+        drops = []
+        replies = []
+        transport.send_async(
+            Message(src=1, dst=2, kind="Ping", payload={}),
+            on_reply=replies.append, on_drop=drops.append)
+        simulator.schedule(0.05, lambda: transport.unregister(2))
+        simulator.run()
+        assert len(drops) == 1
+        assert replies == []
+        assert simulator.metrics.counter_value("net.msgs.sent") == 1
+        assert simulator.metrics.counter_value(
+            "net.bytes.sent.Echo", 0.0) == 0.0
+
+    def test_on_delivered_hook(self):
+        simulator, transport = _make_transport()
+        transport.register(2, _Echo())
+        delivered = []
+        transport.send_async(
+            Message(src=1, dst=2, kind="OneWay", payload={}),
+            on_delivered=lambda message, reply: delivered.append(
+                (message.kind, reply)))
+        simulator.run()
+        assert delivered == [("OneWay", None)]
+
+    def test_byte_accounting_parity_with_request(self):
+        # Identical messages through request() and send_async() must
+        # account identical bytes (request + reply legs).
+        sim_sync, sync = _make_transport()
+        sync.register(2, _Echo())
+        sync.request(Message(src=1, dst=2, kind="Ping",
+                             payload={"x": 1, "y": "abc"}))
+        sim_async, asynchronous = _make_transport()
+        asynchronous.register(2, _Echo())
+        asynchronous.send_async(
+            Message(src=1, dst=2, kind="Ping",
+                    payload={"x": 1, "y": "abc"}),
+            on_reply=lambda reply: None)
+        sim_async.run()
+        for counter in ("net.bytes.sent", "net.bytes.sent.Ping",
+                        "net.bytes.sent.Echo", "net.msgs.sent"):
+            assert sim_async.metrics.counter_value(counter) == \
+                sim_sync.metrics.counter_value(counter)
+
+
+class TestRequestAsync:
+    def test_reply_outcome(self):
+        simulator, transport = _make_transport(register_requester=True)
+        transport.register(2, _Echo())
+        future = transport.request_async(
+            Message(src=1, dst=2, kind="Ping", payload={"x": 1}))
+        assert transport.inflight(2) == 1
+        simulator.run()
+        assert future.done
+        outcome = future.value
+        assert outcome.ok
+        assert outcome.reply.payload == {"x": 1}
+        assert outcome.rtt == pytest.approx(0.2)
+        assert transport.inflight(2) == 0
+        assert transport.total_inflight() == 0
+
+    def test_one_way_resolves_on_delivery(self):
+        simulator, transport = _make_transport()
+        transport.register(2, _Echo())
+        future = transport.request_async(
+            Message(src=1, dst=2, kind="OneWay", payload={}))
+        simulator.run()
+        assert future.value.ok
+        assert future.value.reply is None
+        assert future.value.rtt == pytest.approx(0.1)
+
+    def test_drop_surfaced_not_raised(self):
+        simulator, transport = _make_transport()
+        transport.register(2, _Echo())
+        future = transport.request_async(
+            Message(src=1, dst=2, kind="Ping", payload={}))
+        transport.unregister(2)
+        simulator.run()
+        assert future.value.status == "dropped"
+        assert future.value.reply is None
+        assert transport.total_inflight() == 0
+
+    def test_timeout(self):
+        simulator, transport = _make_transport()
+        # No endpoint for 9 is ever registered *and* nothing drops it:
+        # register, send, then swap in a handler that never replies via
+        # a slow destination.  Simplest deterministic case: destination
+        # alive, but timeout shorter than the one-way latency.
+        transport.register(2, _Echo())
+        future = transport.request_async(
+            Message(src=1, dst=2, kind="Ping", payload={}),
+            timeout=0.05)
+        simulator.run()
+        assert future.value.status == "timeout"
+        assert transport.total_inflight() == 0
+
+    def test_late_reply_after_timeout_is_discarded(self):
+        simulator, transport = _make_transport(register_requester=True)
+        transport.register(2, _Echo())
+        future = transport.request_async(
+            Message(src=1, dst=2, kind="Ping", payload={}),
+            timeout=0.15)    # after delivery (0.1), before reply (0.2)
+        simulator.run()
+        assert future.value.status == "timeout"
+        # The reply still travelled (bytes accounted) but the outcome
+        # is stable.
+        assert simulator.metrics.counter_value("net.bytes.sent.Echo") > 0
+
+    def test_reply_to_departed_requester_is_dropped(self):
+        # The requester unregisters while the reply is in flight: the
+        # outcome is a drop, not a reply delivered to a dead peer.
+        simulator, transport = _make_transport(register_requester=True)
+        transport.register(2, _Echo())
+        future = transport.request_async(
+            Message(src=1, dst=2, kind="Ping", payload={}))
+        # Request delivered at 0.1; reply lands at 0.2.  Depart at 0.15.
+        simulator.schedule(0.15, lambda: transport.unregister(1))
+        simulator.run()
+        assert future.value.status == "dropped"
+        assert transport.total_inflight() == 0
+
+    def test_request_ids_are_unique(self):
+        simulator, transport = _make_transport(register_requester=True)
+        transport.register(2, _Echo())
+        first = transport.request_async(
+            Message(src=1, dst=2, kind="Ping", payload={}))
+        second = transport.request_async(
+            Message(src=1, dst=2, kind="Ping", payload={}))
+        assert transport.inflight(2) == 2
+        simulator.run()
+        assert first.value.request_id != second.value.request_id

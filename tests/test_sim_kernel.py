@@ -86,6 +86,47 @@ class TestEventQueue:
         first.cancel()
         assert queue.peek_time() == 4.0
 
+    def test_live_counter_tracks_push_pop_cancel(self):
+        queue = EventQueue()
+        events = [queue.push(float(index), lambda: None)
+                  for index in range(5)]
+        assert len(queue) == 5
+        events[1].cancel()
+        events[3].cancel()
+        assert len(queue) == 3
+        assert queue.pop() is events[0]
+        assert len(queue) == 2
+        # Popping skips the cancelled events without re-counting them.
+        assert queue.pop() is events[2]
+        assert queue.pop() is events[4]
+        assert len(queue) == 0
+        assert not queue
+        assert queue.pop() is None
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_counter(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is event
+        event.cancel()                   # already executed: no-op
+        assert len(queue) == 1
+
+    def test_peek_past_cancelled_keeps_counter(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0  # lazily drops the cancelled head
+        assert len(queue) == 1
+
 
 class TestSimulator:
     def test_run_to_exhaustion(self):

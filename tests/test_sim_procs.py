@@ -1,0 +1,190 @@
+"""Tests for the generator-driven process abstraction (sim procs)."""
+
+import pytest
+
+from repro.sim.events import Simulator
+from repro.sim.procs import Future, Proc, all_of
+
+
+class TestFuture:
+    def test_resolve_delivers_value(self):
+        future = Future()
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.value))
+        assert not future.done
+        future.resolve(42)
+        assert future.done
+        assert seen == [42]
+
+    def test_callback_after_resolution_runs_immediately(self):
+        future = Future()
+        future.resolve("x")
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.value))
+        assert seen == ["x"]
+
+    def test_double_resolve_rejected(self):
+        future = Future()
+        future.resolve(1)
+        with pytest.raises(RuntimeError):
+            future.resolve(2)
+
+    def test_all_of_preserves_order(self):
+        first, second = Future(), Future()
+        combined = all_of([first, second])
+        second.resolve("b")
+        assert not combined.done
+        first.resolve("a")
+        assert combined.done
+        assert combined.value == ["a", "b"]
+
+    def test_all_of_empty_resolves_immediately(self):
+        combined = all_of([])
+        assert combined.done
+        assert combined.value == []
+
+
+class TestProc:
+    def test_sleep_advances_clock(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            times.append(sim.now)
+            yield 1.5
+            times.append(sim.now)
+            yield 0.5
+            times.append(sim.now)
+            return "done"
+
+        handle = sim.spawn(proc())
+        assert not handle.done           # first step is an event
+        sim.run()
+        assert handle.done
+        assert handle.result == "done"
+        assert times == [0.0, 1.5, 2.0]
+
+    def test_yield_none_resumes_same_time(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            yield None
+            times.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert times == [0.0]
+
+    def test_wait_on_future(self):
+        sim = Simulator()
+        future = Future()
+        seen = []
+
+        def proc():
+            value = yield future
+            seen.append((sim.now, value))
+
+        sim.spawn(proc())
+        sim.schedule(3.0, lambda: future.resolve("late"))
+        sim.run()
+        assert seen == [(3.0, "late")]
+
+    def test_wait_on_other_proc(self):
+        sim = Simulator()
+
+        def child():
+            yield 2.0
+            return "child-result"
+
+        def parent(child_proc):
+            result = yield child_proc
+            return ("parent saw", result)
+
+        child_proc = sim.spawn(child())
+        parent_proc = sim.spawn(parent(child_proc))
+        sim.run()
+        assert parent_proc.result == ("parent saw", "child-result")
+
+    def test_yield_from_composes(self):
+        sim = Simulator()
+
+        def inner():
+            yield 1.0
+            return 10
+
+        def outer():
+            value = yield from inner()
+            yield 1.0
+            return value + 1
+
+        proc = sim.spawn(outer())
+        sim.run()
+        assert proc.result == 11
+        assert sim.now == 2.0
+
+    def test_done_callback(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            yield 1.0
+            return 7
+
+        handle = sim.spawn(proc())
+        handle.add_done_callback(lambda p: seen.append(p.result))
+        sim.run()
+        assert seen == [7]
+        # Late registration fires immediately.
+        handle.add_done_callback(lambda p: seen.append(p.result))
+        assert seen == [7, 7]
+
+    def test_procs_interleave_in_virtual_time(self):
+        sim = Simulator()
+        order = []
+
+        def worker(label, delay):
+            yield delay
+            order.append((label, sim.now))
+            yield delay
+            order.append((label, sim.now))
+
+        sim.spawn(worker("slow", 2.0))
+        sim.spawn(worker("fast", 0.5))
+        sim.run()
+        assert order == [("fast", 0.5), ("fast", 1.0),
+                         ("slow", 2.0), ("slow", 4.0)]
+
+    def test_negative_sleep_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.spawn(proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_unsupported_yield_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        sim.spawn(proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_spawn_is_not_reentrant(self):
+        sim = Simulator()
+        ran = []
+
+        def proc():
+            ran.append(True)
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        sim.spawn(proc())
+        assert ran == []                 # nothing until the kernel runs
+        sim.run()
+        assert ran == [True]
