@@ -11,7 +11,10 @@ Runs the full pipeline of the paper on the built-in sample collection:
    and watch repeated queries stop costing traffic,
 6. switch to the async query runtime (``async_queries``) and serve an
    *open workload* of concurrent queries (``AlvisNetwork.run_queries``)
-   with clock-measured latency percentiles.
+   with clock-measured latency percentiles,
+7. saturate the network (bounded per-endpoint service queues via
+   ``service_rate``/``queue_capacity``) and let the AIMD congestion
+   controller (``congestion_control``) keep goodput at the knee.
 
 Run with::
 
@@ -114,6 +117,39 @@ def main() -> None:
           f"p50 {summary['p50']:.3f}s / p95 {summary['p95']:.3f}s, "
           f"{runtime.runtime.coalesced_probe_keys()} probe keys "
           f"coalesced across queries")
+
+    # 7. Congestion control at the saturation knee.  ``service_rate``/
+    #    ``queue_capacity`` give every endpoint a *bounded* service
+    #    queue (hot owners exhibit real queueing delay, and overflow
+    #    means drops); ``congestion_control`` puts the NCA'06 AIMD
+    #    window between each origin's dispatch queue and the transport,
+    #    so heavy workloads back off, merge their backlogged batches
+    #    and retransmit drops — instead of flooding.  Sweep the arrival
+    #    rate through the knee with bench_e15_congestion_runtime.py;
+    #    here we just overload one origin and read the counters.
+    print("\nwith bounded service queues and AIMD congestion control:")
+    for label, controlled in (("uncontrolled", False), ("AIMD", True)):
+        congested = AlvisNetwork(
+            num_peers=8, seed=42,
+            config=AlvisConfig(batch_lookups=True, async_queries=True,
+                               service_rate=25.0, queue_capacity=2,
+                               congestion_control=controlled))
+        congested.distribute_documents(sample_documents())
+        congested.build_index(mode="hdk")
+        origin = congested.peer_ids()[0]
+        started = congested.simulator.now
+        jobs = congested.run_queries(workload, origins=[origin],
+                                     arrival_rate=300.0)
+        makespan = congested.simulator.now - started
+        drops = congested.transport.queue_drops_total()
+        summary = congested.runtime.latency_summary()
+        window = congested.runtime.congestion_summary()
+        print(f"  {label:>12}: {len(jobs) / makespan:5.1f} queries/s "
+              f"goodput, p95 {summary['p95']:.3f}s, {drops} queue "
+              f"drops, {congested.runtime.retransmissions()} "
+              f"retransmissions"
+              + (f", cwnd mean {window['window_mean']:.1f}"
+                 if controlled else ""))
 
 
 if __name__ == "__main__":

@@ -178,6 +178,61 @@ class AlvisConfig:
     request_timeout: float = 0.0
 
     # ------------------------------------------------------------------
+    # Congestion-aware dispatch (AIMD flow control on the query path)
+    # ------------------------------------------------------------------
+
+    #: Put a per-origin AIMD congestion window (the NCA'06 controller of
+    #: ``repro.dht.congestion``, validated by E8) between each origin's
+    #: dispatch queue and the transport: the window bounds how many
+    #: lookup rounds / probe batches may be outstanding, acks open it
+    #: additively, and any non-ok outcome (queue overflow, churn drop,
+    #: timeout) halves it — at most once per RTT.  Excess flushed work
+    #: queues at the dispatcher and drains as the window opens; overflow
+    #: drops are retransmitted through the window, and a window's worth
+    #: of pending work triggers an early dispatch flush (size-triggered,
+    #: not only after ``dispatch_window``).  Only meaningful with
+    #: ``async_queries``; off by default so the async path's traffic is
+    #: byte-identical to the unthrottled runtime.
+    congestion_control: bool = False
+
+    #: AIMD initial window (outstanding dispatcher sends) per origin.
+    congestion_initial_window: float = 4.0
+
+    #: AIMD window cap per origin.
+    congestion_max_window: float = 64.0
+
+    #: Retransmission budget for a probe batch dropped by a full service
+    #: queue; once exhausted the probes resolve as dropped.  0 disables
+    #: retransmission entirely.
+    congestion_max_retransmits: int = 20
+
+    #: Blind-retransmission delay (virtual seconds) used for overflow
+    #: drops when ``congestion_control`` is *off* — the open-loop
+    #: behaviour whose collapse E8/E15 measure.  With the AIMD window on,
+    #: retransmissions are paced by the window instead.
+    congestion_retransmit_timeout: float = 0.25
+
+    #: Per-endpoint service rate (messages/second) of the bounded
+    #: service queue the transport models for async delivery — hot
+    #: owners then exhibit real queueing delay and overflow drops
+    #: instead of infinite instantaneous capacity.  0 (the default)
+    #: disables the queueing model entirely.
+    service_rate: float = 0.0
+
+    #: Per-endpoint service-queue bound; arrivals beyond it are dropped
+    #: (surfaced to async senders as ``"overflow"`` outcomes).  Only
+    #: meaningful with ``service_rate > 0``.
+    queue_capacity: int = 64
+
+    #: Fraction of one service time a saturated endpoint spends
+    #: *shedding* each overflow arrival (receiving the message off the
+    #: wire and generating the rejection) — wasted work competing with
+    #: useful service.  This is what lets an open-loop retransmission
+    #: storm genuinely collapse goodput instead of being shed for free.
+    #: 0 keeps the cost-free drops of the E8 toy model.
+    service_reject_cost: float = 0.5
+
+    # ------------------------------------------------------------------
 
     #: Perform the second "refinement" step: forward the query to the
     #: local engines of peers holding the first-step results.
@@ -228,6 +283,21 @@ class AlvisConfig:
             raise ValueError("dispatch_window must be >= 0")
         if self.request_timeout < 0:
             raise ValueError("request_timeout must be >= 0")
+        if self.congestion_initial_window < 1:
+            raise ValueError("congestion_initial_window must be >= 1")
+        if self.congestion_max_window < self.congestion_initial_window:
+            raise ValueError("congestion_max_window must be >= "
+                             "congestion_initial_window")
+        if self.congestion_max_retransmits < 0:
+            raise ValueError("congestion_max_retransmits must be >= 0")
+        if self.congestion_retransmit_timeout <= 0:
+            raise ValueError("congestion_retransmit_timeout must be > 0")
+        if self.service_rate < 0:
+            raise ValueError("service_rate must be >= 0")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.service_reject_cost < 0:
+            raise ValueError("service_reject_cost must be >= 0")
 
     def with_overrides(self, **kwargs) -> "AlvisConfig":
         """Return a copy with the given fields replaced (sweep helper)."""

@@ -85,6 +85,12 @@ class AlvisNetwork:
             self.simulator,
             latency if latency is not None else ConstantLatency(0.02),
             make_rng(seed, "latency"))
+        if self.config.service_rate > 0:
+            # Bounded per-endpoint service queues (congestion model):
+            # async deliveries pay queueing delay and can overflow.
+            self.transport.configure_service_model(
+                self.config.service_rate, self.config.queue_capacity,
+                self.config.service_reject_cost)
         self.ring = DHTRing(
             strategy if strategy is not None else HopSpaceFingers(),
             self.transport)

@@ -78,6 +78,10 @@ class QueryTrace:
     refined: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Probe batches retransmitted after congestion (service-queue
+    #: overflow) drops that this query rode in — like
+    #: ``request_messages``, a per-participant count, not a wire count.
+    retransmissions: int = 0
     results: List[RankedDocument] = field(default_factory=list)
 
     @property
@@ -120,6 +124,7 @@ class QueryTrace:
             "latency": float(self.latency),
             "hops": float(self.lookup_hops),
             "messages": float(self.request_messages),
+            "retransmissions": float(self.retransmissions),
             "bytes": float(self.bytes_sent),
             "cache_hits": float(self.cache_hits),
             "cache_misses": float(self.cache_misses),

@@ -31,26 +31,45 @@ to *a network serving traffic*:
 
 * churn is *survived*, not raised: a probe whose owner departed between
   resolution and delivery resolves as :attr:`ProbeStatus.DROPPED` and
-  is counted in the trace.
+  is counted in the trace;
+
+* with ``congestion_control``, a per-origin AIMD
+  :class:`~repro.dht.congestion.CongestionWindow` sits between the
+  dispatch queue and the transport: it bounds how many lookup rounds /
+  probe batches may be outstanding, queues the excess, retransmits
+  probe batches a full service queue rejected, and flushes the dispatch
+  queue early once a window's worth of work is pending — closed-loop
+  flow control on the retrieval path (the NCA'06 controller E8
+  validates in isolation).
 
 For a single query the runtime issues byte-for-byte the traffic of the
 synchronous frontier-batched path (asserted by the cross-mode equality
 tests): concurrency changes timing, never traffic semantics.  When
-messages are shared across queries, each participating query's trace is
-charged the full message (so per-trace sums can exceed wire totals —
-the transport's global counters remain the ground truth).
+messages are shared across queries, each message's wire bytes are
+*pro-rated* across the participating queries' traces (integer shares
+differing by at most one byte), so summed per-query bytes reconcile
+exactly with the transport's global counters; logical message *counts*
+are still charged in full to every participant, so those can exceed
+wire counts.  One caveat: a request that *times out* may still be
+serviced later, and its late reply — discarded by the sender — is
+wire-accounted but attributable to no trace, so exact reconciliation
+holds only for timeout-free runs (``request_timeout = 0``, the
+default).
 """
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
+from typing import (Deque, Dict, List, Optional, Sequence, Tuple,
+                    TYPE_CHECKING, Union)
 
 from repro.core import protocol
 from repro.core.keys import Key
 from repro.core.lattice import ExplorationOutcome
 from repro.core.ranking import RankedDocument, merge_and_rank
 from repro.core.retrieval import QueryTrace
+from repro.dht.congestion import CongestionWindow
 from repro.net.message import Message
 from repro.net.transport import DeliveryError
 from repro.sim.procs import Future, Proc, all_of
@@ -87,7 +106,7 @@ class _LookupGrant:
 
     owners: Dict[int, int]      #: key id -> owning *peer*
     messages: int               #: hop messages that carried this ask's keys
-    bytes: int                  #: their total wire size
+    bytes: int                  #: this ask's pro-rated share of their size
 
 
 class _LookupWaiter:
@@ -100,7 +119,7 @@ class _LookupWaiter:
 
 class _ProbeWaiter:
     __slots__ = ("assignments", "future", "results", "remaining",
-                 "requests", "bytes_by_kind")
+                 "requests", "bytes_by_kind", "retransmissions")
 
     def __init__(self, assignments: List[Tuple[Key, int]]):
         self.assignments = assignments      #: ordered (key, owner peer)
@@ -109,6 +128,7 @@ class _ProbeWaiter:
         self.remaining = 0                  #: owner batches outstanding
         self.requests = 0                   #: batches this ask rode in
         self.bytes_by_kind: Dict[str, int] = {}
+        self.retransmissions = 0            #: retried batches it rode in
 
 
 @dataclass
@@ -117,6 +137,34 @@ class _Prefetch:
 
     epoch: int                  #: membership epoch at launch
     proc: Proc                  #: resolves to {key_id: owner peer}
+
+
+@dataclass
+class _PendingLookup:
+    """One shared lookup traversal awaiting a congestion-window slot.
+
+    Backlogged traversals merge: their waiters route in one traversal
+    once a slot opens, so backpressure *increases* sharing."""
+
+    waiters: List[_LookupWaiter]
+
+
+@dataclass
+class _PendingProbe:
+    """One owner's probe batch awaiting a congestion-window slot.
+
+    Backlogged batches for the same owner merge (keys deduplicated,
+    participants concatenated): the longer the window holds traffic
+    back, the bigger — and fewer — the messages, which is the adaptive
+    batching a congested receiver needs.  ``sent_bytes`` accumulates
+    the wire cost of earlier (dropped) transmissions of this work so
+    the traces reconcile with the transport counters."""
+
+    owner: int
+    keys: List[Key]
+    participants: List[_ProbeWaiter]
+    attempts: int = 0
+    sent_bytes: int = 0
 
 
 class _OriginDispatcher:
@@ -128,6 +176,14 @@ class _OriginDispatcher:
     (duplicate keys from different queries are sent once and the reply
     fanned back out).  With a single active query this degenerates to
     exactly the synchronous engine's per-level batching.
+
+    With ``congestion_control`` an AIMD :class:`CongestionWindow` gates
+    the flushed work: each lookup traversal and each probe batch is one
+    outstanding unit; excess sends queue in ``_backlog`` and drain as
+    acks open the window.  Queue-overflow drops halve the window (at
+    most once per RTT), are retransmitted — window-paced — and once a
+    window's worth of work is pending the flush fires early instead of
+    waiting out the full ``dispatch_window``.
     """
 
     def __init__(self, runtime: "AsyncQueryRuntime", origin: int):
@@ -136,9 +192,36 @@ class _OriginDispatcher:
         self._pending_lookups: List[_LookupWaiter] = []
         self._pending_probes: List[_ProbeWaiter] = []
         self._flush_scheduled = False
+        self._flush_event = None
+        self._expedited = False
         #: Flushes and coalesced (deduplicated) probe keys, for the bench.
         self.flushes = 0
         self.coalesced_keys = 0
+        #: Early (size-triggered) flushes and retransmitted sends.
+        self.early_flushes = 0
+        self.retransmissions = 0
+        config = runtime.network.config
+        self.cwnd: Optional[CongestionWindow] = None
+        if config.congestion_control:
+            # The retransmit timeout seeds the once-per-RTT decrease
+            # guard as a conservative RTT upper bound: without it a
+            # startup overflow burst (drops before the first ack's RTT
+            # sample) would halve the window once per drop.  Real ack
+            # samples take over quickly through the smoother.
+            self.cwnd = CongestionWindow(
+                initial=config.congestion_initial_window,
+                max_window=config.congestion_max_window,
+                rtt_estimate=config.congestion_retransmit_timeout)
+        #: Owners the pending probes address (incremental mirror of the
+        #: per-owner batches a flush would send, for _pending_units).
+        self._pending_probe_owners: set = set()
+        self._backlog: Deque[Union[_PendingLookup, _PendingProbe]] = \
+            collections.deque()
+
+    @property
+    def backlog(self) -> int:
+        """Sends held back by the congestion window right now."""
+        return len(self._backlog)
 
     # ------------------------------------------------------------------
 
@@ -155,28 +238,118 @@ class _OriginDispatcher:
         :class:`_ProbeWaiter` carrying per-key outcomes and charges."""
         waiter = _ProbeWaiter(list(assignments))
         self._pending_probes.append(waiter)
+        for _key, owner in waiter.assignments:
+            if owner != self.origin:
+                self._pending_probe_owners.add(owner)
         self._schedule_flush()
         return waiter.future
 
     # ------------------------------------------------------------------
 
+    def _pending_units(self) -> int:
+        """Dispatcher sends the pending work would flush into (one
+        shared lookup traversal plus one probe batch per owner)."""
+        return ((1 if self._pending_lookups else 0)
+                + len(self._pending_probe_owners))
+
+    def _should_expedite(self) -> bool:
+        """True once the pending work would fill the congestion window's
+        *currently idle* capacity — the window could send it all right
+        now, so waiting out the rest of ``dispatch_window`` only adds
+        latency.  While the window is saturated (no idle slots) the
+        flush is never expedited: held-back work keeps accumulating into
+        bigger coalesced batches, which is exactly the adaptive
+        behaviour congestion calls for."""
+        if self.cwnd is None or self._backlog:
+            return False
+        available = self.cwnd.window - self.cwnd.outstanding
+        return available >= 1.0 and self._pending_units() >= available
+
     def _schedule_flush(self) -> None:
+        simulator = self.runtime.network.simulator
+        dispatch_window = self.runtime.network.config.dispatch_window
         if self._flush_scheduled:
+            if (dispatch_window > 0 and not self._expedited
+                    and self._should_expedite()):
+                self._expedited = True
+                self.early_flushes += 1
+                if self._flush_event is not None:
+                    self._flush_event.cancel()
+                self._flush_event = simulator.schedule(0.0, self._flush)
             return
         self._flush_scheduled = True
-        simulator = self.runtime.network.simulator
-        window = self.runtime.network.config.dispatch_window
-        simulator.schedule(window, self._flush)
+        self._expedited = False
+        delay = dispatch_window
+        if delay > 0 and self._should_expedite():
+            delay = 0.0
+            self._expedited = True
+            self.early_flushes += 1
+        self._flush_event = simulator.schedule(delay, self._flush)
 
     def _flush(self) -> None:
         self._flush_scheduled = False
+        self._flush_event = None
         self.flushes += 1
         lookups, self._pending_lookups = self._pending_lookups, []
         probes, self._pending_probes = self._pending_probes, []
+        self._pending_probe_owners.clear()
         if lookups:
             self._flush_lookups(lookups)
         if probes:
             self._flush_probes(probes)
+
+    # -- congestion-window gating ---------------------------------------
+
+    def _submit(self, send: Union[_PendingLookup, _PendingProbe]) -> None:
+        """Dispatch ``send`` now if the congestion window admits another
+        outstanding unit, else merge it into the backlog."""
+        if self.cwnd is None or self.cwnd.can_send():
+            if self.cwnd is not None:
+                self.cwnd.on_send()
+            self._dispatch(send)
+        else:
+            self._merge_into_backlog(send)
+
+    def _dispatch(self, send: Union[_PendingLookup, _PendingProbe]) -> None:
+        if isinstance(send, _PendingProbe):
+            self._transmit_probe(send)
+        else:
+            self._launch_lookup(send)
+
+    def _merge_into_backlog(
+            self, send: Union[_PendingLookup, _PendingProbe]) -> None:
+        """Queue ``send``, merging with backlogged work where possible:
+        probe batches for the same owner fuse (keys deduplicated), and
+        lookup traversals fuse into one shared round — so backpressure
+        grows batches instead of queue length."""
+        if isinstance(send, _PendingProbe):
+            for entry in self._backlog:
+                if isinstance(entry, _PendingProbe) \
+                        and entry.owner == send.owner:
+                    marks = set(entry.keys)
+                    for key in send.keys:
+                        if key in marks:
+                            self.coalesced_keys += 1
+                        else:
+                            marks.add(key)
+                            entry.keys.append(key)
+                    entry.participants.extend(send.participants)
+                    entry.attempts = max(entry.attempts, send.attempts)
+                    entry.sent_bytes += send.sent_bytes
+                    return
+        else:
+            for entry in self._backlog:
+                if isinstance(entry, _PendingLookup):
+                    entry.waiters.extend(send.waiters)
+                    return
+        self._backlog.append(send)
+
+    def _drain_backlog(self) -> None:
+        if self.cwnd is None:
+            return
+        while self._backlog and self.cwnd.can_send():
+            self.cwnd.on_send()
+            self._dispatch(self._backlog.popleft())
 
     # -- lookups --------------------------------------------------------
 
@@ -193,30 +366,66 @@ class _OriginDispatcher:
                 waiter.future.resolve(_LookupGrant(owners=owners,
                                                    messages=0, bytes=0))
             return
+        self._submit(_PendingLookup(waiters=waiters))
+
+    def _launch_lookup(self, send: _PendingLookup) -> None:
+        network = self.runtime.network
+        waiters = send.waiters
+        if not network.ring.contains(self.origin):
+            # The origin departed while the traversal waited for a
+            # window slot: resolve via the oracle, zero traffic (as in
+            # :meth:`_flush_lookups`), and release the slot.
+            if self.cwnd is not None:
+                self.cwnd.on_ack(network.simulator.now)
+            for waiter in waiters:
+                owners = {key_id: network.owner_peer_of_key(key_id)
+                          for key_id in waiter.key_ids}
+                waiter.future.resolve(_LookupGrant(owners=owners,
+                                                   messages=0, bytes=0))
+            self._drain_backlog()
+            return
         union = list(dict.fromkeys(key_id for waiter in waiters
                                    for key_id in waiter.key_ids))
+        sent_at = network.simulator.now
         proc = network.simulator.spawn(
             network.ring.lookup_many_async(
                 self.origin, union, account=network.account_lookups),
             name=f"lookup@{self.origin}")
 
         def on_done(proc: Proc) -> None:
+            if self.cwnd is not None:
+                self.cwnd.on_ack(
+                    network.simulator.now,
+                    rtt_sample=network.simulator.now - sent_at)
             result = proc.result
+            self.retransmissions += result.retransmissions
             batches = result.message_batches or []
             sizes = result.message_bytes or []
-            for waiter in waiters:
-                key_set = set(waiter.key_ids)
+            key_sets = [set(waiter.key_ids) for waiter in waiters]
+            messages = [0] * len(waiters)
+            shares = [0] * len(waiters)
+            # Pro-rate each hop message's bytes across the waiters
+            # whose keys it carried; every carrier still counts the
+            # whole message (the amortized hop cost is a count, the
+            # bytes must reconcile with the wire).
+            for batch, size in zip(batches, sizes):
+                carriers = [index for index, keys in
+                            enumerate(key_sets)
+                            if keys.intersection(batch)]
+                if not carriers:
+                    continue
+                split = _split_evenly(size, len(carriers))
+                for slot, index in enumerate(carriers):
+                    messages[index] += 1
+                    shares[index] += split[slot]
+            for index, waiter in enumerate(waiters):
                 owners = {key_id: network.peer_of_ring_node(
                               result.owners[key_id])
                           for key_id in waiter.key_ids}
-                messages = 0
-                total_bytes = 0
-                for batch, size in zip(batches, sizes):
-                    if key_set.intersection(batch):
-                        messages += 1
-                        total_bytes += size
                 waiter.future.resolve(_LookupGrant(
-                    owners=owners, messages=messages, bytes=total_bytes))
+                    owners=owners, messages=messages[index],
+                    bytes=shares[index]))
+            self._drain_backlog()
 
         proc.add_done_callback(on_done)
 
@@ -243,14 +452,14 @@ class _OriginDispatcher:
             waiter.remaining = len(waiter_owners)
             for owner in waiter_owners:
                 owner_waiters.setdefault(owner, []).append(waiter)
-        timeout = config.request_timeout or None
         for owner, keys in by_owner.items():
             participants = owner_waiters[owner]
-            payload = {"keys": [list(key.terms) for key in keys]}
             if owner == self.origin:
                 # Self-addressed probes short-circuit in memory, exactly
-                # like the synchronous path: no bytes, no latency.  A
-                # crashed origin cannot answer even itself.
+                # like the synchronous path: no bytes, no latency, no
+                # congestion window.  A crashed origin cannot answer
+                # even itself.
+                payload = {"keys": [list(key.terms) for key in keys]}
                 try:
                     reply, _rtt = network.send(self.origin, owner,
                                                protocol.PROBE_BATCH,
@@ -267,29 +476,68 @@ class _OriginDispatcher:
                               dropped=False, request_bytes=0,
                               reply_bytes=0)
                 continue
-            message = Message(src=self.origin, dst=owner,
-                              kind=protocol.PROBE_BATCH, payload=payload)
-            request_bytes = message.size_bytes()
-            future = network.transport.request_async(message,
-                                                     timeout=timeout)
-            future.add_done_callback(
-                lambda resolved, owner=owner, keys=keys,
-                participants=participants, request_bytes=request_bytes:
-                    self._on_probe_outcome(owner, keys, participants,
-                                           resolved.value, request_bytes))
+            self._submit(_PendingProbe(owner=owner, keys=keys,
+                                       participants=participants))
 
-    def _on_probe_outcome(self, owner: int, keys: List[Key],
-                          participants: List[_ProbeWaiter],
-                          outcome, request_bytes: int) -> None:
+    def _transmit_probe(self, send: _PendingProbe) -> None:
+        network = self.runtime.network
+        config = network.config
+        payload = {"keys": [list(key.terms) for key in send.keys]}
+        message = Message(src=self.origin, dst=send.owner,
+                          kind=protocol.PROBE_BATCH, payload=payload)
+        # Every attempt hits the wire: the cumulative request bytes
+        # (original send plus retransmissions) are what the traces must
+        # reconcile against the transport counters.
+        send.sent_bytes += message.size_bytes()
+        timeout = config.request_timeout or None
+        future = network.transport.request_async(message, timeout=timeout)
+        future.add_done_callback(
+            lambda resolved: self._on_probe_outcome(send, resolved.value))
+
+    def _on_probe_outcome(self, send: _PendingProbe, outcome) -> None:
+        network = self.runtime.network
+        config = network.config
+        now = network.simulator.now
         if outcome.ok and outcome.reply is not None:
-            self._deliver(owner, keys, participants,
+            if self.cwnd is not None:
+                self.cwnd.on_ack(now, rtt_sample=outcome.rtt)
+            self._deliver(send.owner, send.keys, send.participants,
                           outcome.reply.payload["results"], dropped=False,
-                          request_bytes=request_bytes,
+                          request_bytes=send.sent_bytes,
                           reply_bytes=outcome.reply_bytes)
+        elif (outcome.status == "overflow"
+                and send.attempts < config.congestion_max_retransmits):
+            # The owner's service queue rejected the batch: congestion,
+            # not churn — retransmit.  With the AIMD window the drop
+            # halves the window (at most once per RTT) and the retry
+            # re-enters the window-paced queue after one smoothed RTT —
+            # an immediate retry would hit the same still-full queue.
+            # Without the window: blind timeout retransmission, the
+            # open-loop behaviour whose collapse E8/E15 measure.
+            if self.cwnd is not None:
+                self.cwnd.on_drop(now)
+            self.retransmissions += 1
+            for waiter in send.participants:
+                waiter.retransmissions += 1
+            send.attempts += 1
+            if self.cwnd is not None:
+                backoff = (self.cwnd.srtt if self.cwnd.srtt > 0
+                           else config.congestion_retransmit_timeout)
+                network.simulator.schedule(
+                    backoff, lambda: self._submit(send))
+            else:
+                network.simulator.schedule(
+                    config.congestion_retransmit_timeout,
+                    lambda: self._transmit_probe(send))
         else:
-            # Churn drop or timeout: surfaced as dropped probes.
-            self._deliver(owner, keys, participants, None, dropped=True,
-                          request_bytes=request_bytes, reply_bytes=0)
+            # Churn drop, timeout, or retransmission budget exhausted:
+            # surfaced as dropped probes.
+            if self.cwnd is not None:
+                self.cwnd.on_drop(now)
+            self._deliver(send.owner, send.keys, send.participants, None,
+                          dropped=True, request_bytes=send.sent_bytes,
+                          reply_bytes=0)
+        self._drain_backlog()
 
     def _deliver(self, owner: int, keys: List[Key],
                  participants: List[_ProbeWaiter],
@@ -305,15 +553,20 @@ class _OriginDispatcher:
                 found = bool(item["found"])
                 postings = item["postings"] if found else None
                 results[key] = (found, postings, False)
-        for waiter in participants:
+        # Shared batches pro-rate their wire bytes across participants
+        # (summed per-query bytes == transport totals); the *count* is
+        # charged to everyone who rode in the batch.
+        request_shares = _split_evenly(request_bytes, len(participants))
+        reply_shares = _split_evenly(reply_bytes, len(participants))
+        for index, waiter in enumerate(participants):
             for key, key_owner in waiter.assignments:
                 if key_owner == owner:
                     waiter.results[key] = results[key]
             waiter.requests += 1
             _add_bytes(waiter.bytes_by_kind, protocol.PROBE_BATCH,
-                       request_bytes)
+                       request_shares[index])
             _add_bytes(waiter.bytes_by_kind, protocol.PROBE_BATCH_REPLY,
-                       reply_bytes)
+                       reply_shares[index])
             waiter.remaining -= 1
             if waiter.remaining == 0:
                 waiter.future.resolve(waiter)
@@ -322,6 +575,15 @@ class _OriginDispatcher:
 def _add_bytes(bucket: Dict[str, int], kind: str, nbytes: int) -> None:
     if nbytes > 0:
         bucket[kind] = bucket.get(kind, 0) + nbytes
+
+
+def _split_evenly(total: int, parts: int) -> List[int]:
+    """Split ``total`` into ``parts`` integer shares that sum exactly to
+    ``total``, differing by at most one (earlier parts take the
+    remainder)."""
+    base, remainder = divmod(int(total), parts)
+    return [base + 1 if index < remainder else base
+            for index in range(parts)]
 
 
 class AsyncQueryRuntime:
@@ -350,6 +612,34 @@ class AsyncQueryRuntime:
         """Probe keys absorbed by cross-query deduplication so far."""
         return sum(dispatcher.coalesced_keys
                    for dispatcher in self._dispatchers.values())
+
+    def retransmissions(self) -> int:
+        """Dispatcher sends retried after congestion drops so far."""
+        return sum(dispatcher.retransmissions
+                   for dispatcher in self._dispatchers.values())
+
+    def congestion_summary(self) -> Dict[str, float]:
+        """Aggregated congestion-control state across all dispatchers:
+        retransmissions, backlogged sends, early (size-triggered)
+        flushes, and the AIMD window's mean/min plus total
+        multiplicative decreases (zeroes when ``congestion_control`` is
+        off)."""
+        dispatchers = list(self._dispatchers.values())
+        windows = [dispatcher.cwnd for dispatcher in dispatchers
+                   if dispatcher.cwnd is not None]
+        return {
+            "retransmissions": float(self.retransmissions()),
+            "backlog": float(sum(dispatcher.backlog
+                                 for dispatcher in dispatchers)),
+            "early_flushes": float(sum(dispatcher.early_flushes
+                                       for dispatcher in dispatchers)),
+            "window_mean": (sum(cwnd.window for cwnd in windows)
+                            / len(windows)) if windows else 0.0,
+            "window_min": (min(cwnd.window for cwnd in windows)
+                           if windows else 0.0),
+            "window_decreases": float(sum(cwnd.decreases
+                                          for cwnd in windows)),
+        }
 
     def latency_summary(self) -> Dict[str, float]:
         """p50/p95/p99 of the completed queries' clock latencies."""
@@ -488,6 +778,7 @@ class AsyncQueryRuntime:
             if probe_future is not None:
                 waiter = yield probe_future
                 trace.request_messages += waiter.requests
+                trace.retransmissions += waiter.retransmissions
                 for kind, nbytes in waiter.bytes_by_kind.items():
                     self._charge(trace, kind, nbytes)
                 for key in misses:

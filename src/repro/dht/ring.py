@@ -56,6 +56,10 @@ class BatchLookupResult:
     #: Wire size of each hop message (0 when routing is unaccounted),
     #: aligned with ``message_batches``.
     message_bytes: Optional[List[int]] = None
+    #: Hop messages re-sent after a service-queue overflow (async path
+    #: with the transport's congestion model active); already included
+    #: in ``messages``/``message_batches``.
+    retransmissions: int = 0
 
     @property
     def total_hops(self) -> int:
@@ -299,7 +303,13 @@ class DHTRing:
           ownership oracle for its keys — the subsequent probe to that
           owner will surface the drop;
         * keys stranded at a node that itself departed restart from the
-          source, or fall back to the oracle when the source is gone.
+          source, or fall back to the oracle when the source is gone;
+        * a hop dropped by a *full service queue* (``"overflow"`` — the
+          transport's congestion model, not churn) is retransmitted on
+          the next round, after an exponentially growing backoff (an
+          immediate retry would hit the same still-full queue); a
+          generous per-lookup retry budget bounds the pathological
+          case, beyond which the oracle answers.
 
         Returns (via ``StopIteration`` / proc result) a
         :class:`BatchLookupResult` with ``message_batches`` and
@@ -316,10 +326,16 @@ class DHTRing:
         frontier: Dict[int, List[int]] = {source_id: pending}
         messages = 0
         rounds = 0
+        retransmissions = 0
+        consecutive_overflows = 0
+        #: Overflow-retry allowance: rounds spent retransmitting hops a
+        #: full service queue rejected must not look like routing-table
+        #: inconsistency.
+        retry_budget = 64
         max_rounds = 2 * ID_BITS + self.size
         while frontier:
             rounds += 1
-            if rounds > max_rounds:
+            if rounds > max_rounds + retransmissions:
                 unresolved = sorted(key_id for keys in frontier.values()
                                     for key_id in keys)
                 raise RuntimeError(
@@ -378,9 +394,21 @@ class DHTRing:
                 yield all_of(futures)
             self.ensure_tables()    # membership may have moved mid-flight
             next_frontier: Dict[int, List[int]] = {}
+            overflow_rtts: List[float] = []
             for future, node_id, next_id, batch in sends:
                 if future is not None and not future.value.ok:
-                    if self.contains(next_id):
+                    if (future.value.status == "overflow"
+                            and node_id in self._nodes
+                            and retry_budget > 0):
+                        # Congestion, not churn: the hop was rejected by
+                        # a full service queue — retransmit it from the
+                        # same node on the next round.
+                        retry_budget -= 1
+                        retransmissions += 1
+                        overflow_rtts.append(future.value.rtt)
+                        next_frontier.setdefault(node_id,
+                                                 []).extend(batch)
+                    elif self.contains(next_id):
                         # Half-dead: in the ring but unreachable — the
                         # oracle owner is the best answer we can route to.
                         for key_id in batch:
@@ -395,8 +423,18 @@ class DHTRing:
                             owners[key_id] = self.successor_of(key_id)
                 else:
                     next_frontier.setdefault(next_id, []).extend(batch)
+            if overflow_rtts:
+                # Back off before the retry round — exponentially, so
+                # repeated rejections from a saturated node thin the
+                # retry stream instead of hammering it.
+                consecutive_overflows += 1
+                yield min(1.0, max(overflow_rtts)
+                          * (2.0 ** (consecutive_overflows - 1)))
+            else:
+                consecutive_overflows = 0
             frontier = next_frontier
         return BatchLookupResult(owners=owners, messages=messages,
                                  per_key_hops=per_key_hops,
                                  message_batches=message_batches,
-                                 message_bytes=message_bytes)
+                                 message_bytes=message_bytes,
+                                 retransmissions=retransmissions)

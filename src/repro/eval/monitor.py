@@ -59,6 +59,16 @@ class NetworkSnapshot:
     query_latency_p50: float = 0.0
     query_latency_p95: float = 0.0
     query_latency_p99: float = 0.0
+    #: Congestion control: service-queue overflow drops at endpoints,
+    #: dispatcher retransmissions/backlog, and the AIMD window state.
+    congestion_queue_drops: int = 0
+    congestion_queued: int = 0
+    congestion_retransmissions: int = 0
+    congestion_backlog: int = 0
+    congestion_early_flushes: int = 0
+    congestion_window_mean: float = 0.0
+    congestion_window_min: float = 0.0
+    congestion_window_decreases: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -90,6 +100,17 @@ class NetworkSnapshot:
             "query_latency_p50": self.query_latency_p50,
             "query_latency_p95": self.query_latency_p95,
             "query_latency_p99": self.query_latency_p99,
+            "congestion_queue_drops": float(self.congestion_queue_drops),
+            "congestion_queued": float(self.congestion_queued),
+            "congestion_retransmissions":
+                float(self.congestion_retransmissions),
+            "congestion_backlog": float(self.congestion_backlog),
+            "congestion_early_flushes":
+                float(self.congestion_early_flushes),
+            "congestion_window_mean": self.congestion_window_mean,
+            "congestion_window_min": self.congestion_window_min,
+            "congestion_window_decreases":
+                float(self.congestion_window_decreases),
         }
         flat.update({f"traffic_{name}": value
                      for name, value in self.traffic.as_dict().items()})
@@ -130,6 +151,8 @@ class NetworkMonitor:
         cache_stats = [peer.probe_cache.stats for peer in network.peers()]
         runtime = network.runtime
         latency = runtime.latency_summary()
+        service = network.transport.service_stats()
+        congestion = runtime.congestion_summary()
         observed = NetworkSnapshot(
             num_peers=network.num_peers,
             num_documents=network.total_documents(),
@@ -160,6 +183,16 @@ class NetworkMonitor:
             query_latency_p50=latency["p50"],
             query_latency_p95=latency["p95"],
             query_latency_p99=latency["p99"],
+            congestion_queue_drops=service["dropped"],
+            congestion_queued=service["queued"],
+            congestion_retransmissions=int(
+                congestion["retransmissions"]),
+            congestion_backlog=int(congestion["backlog"]),
+            congestion_early_flushes=int(congestion["early_flushes"]),
+            congestion_window_mean=congestion["window_mean"],
+            congestion_window_min=congestion["window_min"],
+            congestion_window_decreases=int(
+                congestion["window_decreases"]),
         )
         self.history.append(observed)
         return observed
@@ -214,6 +247,18 @@ class NetworkMonitor:
                 f"latency p50 {snapshot.query_latency_p50:.3f}s / "
                 f"p95 {snapshot.query_latency_p95:.3f}s / "
                 f"p99 {snapshot.query_latency_p99:.3f}s")
+        if (snapshot.congestion_queue_drops
+                or snapshot.congestion_retransmissions
+                or snapshot.congestion_window_mean):
+            lines.append(
+                f"congestion: {snapshot.congestion_queue_drops} queue "
+                f"drops ({snapshot.congestion_queued} queued), "
+                f"{snapshot.congestion_retransmissions} retransmissions, "
+                f"{snapshot.congestion_backlog} backlogged sends, "
+                f"{snapshot.congestion_early_flushes} early flushes; "
+                f"cwnd mean {snapshot.congestion_window_mean:.1f} / "
+                f"min {snapshot.congestion_window_min:.1f} "
+                f"({snapshot.congestion_window_decreases} decreases)")
         if snapshot.cache_hits or snapshot.cache_misses:
             lines.append(
                 f"probe cache: {snapshot.cache_hits} hits / "

@@ -22,6 +22,17 @@ Two delivery modes are offered:
   the outcome instead of raising, and per-destination in-flight counts
   are tracked for the monitoring dashboard.
 
+With :meth:`Transport.configure_service_model` each destination endpoint
+additionally gets a *bounded service queue* on the event kernel (the
+Klemm/NCA'06 queueing model of ``repro.dht.congestion``, wired into
+delivery): async messages wait in a finite FIFO and are processed at a
+fixed ``service_rate``, so hot owners exhibit real queueing delay — and
+overflow *drops*, surfaced to async senders as an ``"overflow"`` outcome
+whose notification travels back with one network delay.  Off by default
+(infinite instantaneous capacity, the historical behaviour); only the
+event-loop delivery paths queue, the synchronous compatibility path is
+untouched.
+
 Every byte is accounted twice over: globally per message kind
 (``net.bytes.sent.<kind>``) and per destination peer (for load-balance
 metrics).
@@ -29,10 +40,11 @@ metrics).
 
 from __future__ import annotations
 
+import collections
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Protocol, Tuple
+from typing import Callable, Deque, Dict, Optional, Protocol, Tuple
 
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
@@ -52,8 +64,10 @@ class RequestOutcome:
 
     ``status`` is ``"ok"`` (reply received, or one-way delivery
     confirmed), ``"dropped"`` (the destination unregistered before
-    delivery — churn), or ``"timeout"``.  ``rtt`` is the virtual time
-    between send and resolution.
+    delivery — churn), ``"overflow"`` (the destination's bounded service
+    queue was full — congestion; the request is retryable), or
+    ``"timeout"``.  ``rtt`` is the virtual time between send and
+    resolution.
     """
 
     request_id: int
@@ -87,6 +101,73 @@ class Endpoint(Protocol):
         ...
 
 
+class _ServiceQueue:
+    """A bounded FIFO + fixed-rate server for one destination endpoint.
+
+    The :class:`~repro.dht.congestion.QueueingNode` model wired into
+    transport delivery: tasks (message deliveries) wait in a finite
+    queue and complete after ``1 / rate`` seconds of service each;
+    arrivals beyond ``capacity`` invoke their overflow callback instead.
+
+    ``reject_cost`` is the fraction of one service time the server
+    spends *shedding* an overflow arrival (receiving the message off
+    the wire and generating the rejection) — wasted work that competes
+    with useful service, the mechanism that turns an overload of blind
+    retransmissions into genuine congestion collapse.  The cost is
+    accumulated and charged onto the next service completion.
+    """
+
+    __slots__ = ("simulator", "rate", "capacity", "reject_cost",
+                 "arrived", "completed", "dropped", "_queue", "_busy",
+                 "_penalty")
+
+    def __init__(self, simulator: Simulator, rate: float, capacity: int,
+                 reject_cost: float = 0.0):
+        self.simulator = simulator
+        self.rate = rate
+        self.capacity = capacity
+        self.reject_cost = reject_cost
+        self.arrived = 0
+        self.completed = 0
+        self.dropped = 0
+        self._queue: Deque[Callable[[], None]] = collections.deque()
+        self._busy = False
+        self._penalty = 0.0      #: reject-handling seconds not yet served
+
+    @property
+    def queue_length(self) -> int:
+        """Tasks currently waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    def offer(self, task: Callable[[], None],
+              on_overflow: Callable[[], None]) -> None:
+        self.arrived += 1
+        if len(self._queue) >= self.capacity:
+            self.dropped += 1
+            self._penalty += self.reject_cost / self.rate
+            on_overflow()
+            return
+        self._queue.append(task)
+        if not self._busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        task = self._queue.popleft()
+        service_time = 1.0 / self.rate + self._penalty
+        self._penalty = 0.0
+
+        def finish() -> None:
+            self.completed += 1
+            task()
+            self._serve_next()
+
+        self.simulator.schedule(service_time, finish)
+
+
 class Transport:
     """Point-to-point messaging between registered endpoints."""
 
@@ -103,6 +184,12 @@ class Transport:
         #: Outstanding :meth:`request_async` calls per destination.
         self._inflight: Dict[int, int] = {}
         self._request_ids = itertools.count(1)
+        #: Bounded-service-queue model (0 rate = disabled: infinite
+        #: instantaneous capacity, the historical behaviour).
+        self._service_rate = 0.0
+        self._service_capacity = 0
+        self._service_reject_cost = 0.0
+        self._service_queues: Dict[int, _ServiceQueue] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -163,6 +250,73 @@ class Transport:
         return sum(self._inflight.values())
 
     # ------------------------------------------------------------------
+    # Bounded endpoint service queues (congestion model)
+    # ------------------------------------------------------------------
+
+    def configure_service_model(self, service_rate: float,
+                                queue_capacity: int,
+                                reject_cost: float = 0.0) -> None:
+        """Give every endpoint a bounded service queue for async delivery.
+
+        ``service_rate`` requests/second per endpoint, at most
+        ``queue_capacity`` waiting; overflow surfaces as an
+        ``"overflow"`` :class:`RequestOutcome` and costs the server
+        ``reject_cost`` service-time fractions of wasted shedding work.
+        ``service_rate = 0`` disables the model (and clears any existing
+        queues).
+        """
+        if service_rate < 0:
+            raise ValueError(
+                f"service_rate must be >= 0, got {service_rate}")
+        if service_rate > 0 and queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {queue_capacity}")
+        if reject_cost < 0:
+            raise ValueError(
+                f"reject_cost must be >= 0, got {reject_cost}")
+        self._service_rate = service_rate
+        self._service_capacity = queue_capacity
+        self._service_reject_cost = reject_cost
+        self._service_queues = {}
+
+    @property
+    def service_model_active(self) -> bool:
+        """True when async deliveries go through bounded service queues."""
+        return self._service_rate > 0
+
+    def _service_queue_for(self, peer_id: int) -> Optional[_ServiceQueue]:
+        if self._service_rate <= 0:
+            return None
+        queue = self._service_queues.get(peer_id)
+        if queue is None:
+            queue = _ServiceQueue(self.simulator, self._service_rate,
+                                  self._service_capacity,
+                                  self._service_reject_cost)
+            self._service_queues[peer_id] = queue
+        return queue
+
+    def service_queue_length(self, peer_id: int) -> int:
+        """Messages waiting in ``peer_id``'s service queue."""
+        queue = self._service_queues.get(peer_id)
+        return queue.queue_length if queue is not None else 0
+
+    def queue_drops_total(self) -> int:
+        """Service-queue overflow drops across all endpoints."""
+        return sum(queue.dropped
+                   for queue in self._service_queues.values())
+
+    def service_stats(self) -> Dict[str, int]:
+        """Aggregated service-queue counters (arrived/completed/dropped/
+        queued) across all endpoints."""
+        queues = self._service_queues.values()
+        return {
+            "arrived": sum(queue.arrived for queue in queues),
+            "completed": sum(queue.completed for queue in queues),
+            "dropped": sum(queue.dropped for queue in queues),
+            "queued": sum(queue.queue_length for queue in queues),
+        }
+
+    # ------------------------------------------------------------------
     # Synchronous request/response
     # ------------------------------------------------------------------
 
@@ -207,8 +361,9 @@ class Transport:
                    on_reply: Optional[Callable[[Message], None]] = None,
                    on_drop: Optional[Callable[[Message], None]] = None,
                    on_delivered: Optional[
-                       Callable[[Message, Optional[Message]], None]] = None
-                   ) -> None:
+                       Callable[[Message, Optional[Message]], None]] = None,
+                   on_overflow: Optional[
+                       Callable[[Message], None]] = None) -> None:
         """Schedule delivery of ``message`` through the event queue.
 
         If the destination handler returns a reply and ``on_reply`` is
@@ -218,6 +373,13 @@ class Transport:
         invoked right after the destination handler ran, with the reply
         it returned (not yet delivered back) — the hook one-way
         protocols use to learn their message arrived.
+
+        With the service model active (:meth:`configure_service_model`)
+        the handler runs only after the message waited in the
+        destination's bounded queue and was serviced; a full queue
+        instead invokes ``on_overflow`` after one return network delay
+        (the drop signal travels back like an ack would — never
+        instantly).
 
         The reply leg is symmetric: if the *requester* unregisters while
         the reply is in flight, the reply is dropped (``on_drop`` with
@@ -234,7 +396,9 @@ class Transport:
                 return
             on_reply(reply)
 
-        def deliver() -> None:
+        def process() -> None:
+            # Re-fetched: the endpoint may have departed while the
+            # message waited in its service queue.
             endpoint = self._endpoints.get(message.dst)
             if endpoint is None:
                 if on_drop is not None:
@@ -250,6 +414,25 @@ class Transport:
             if on_delivered is not None:
                 on_delivered(message, reply)
 
+        def overflow() -> None:
+            if on_overflow is None:
+                return
+            nack_delay = self.latency.delay(self.rng, message.dst,
+                                            message.src, 0)
+            self.simulator.schedule(nack_delay,
+                                    lambda: on_overflow(message))
+
+        def deliver() -> None:
+            if message.dst not in self._endpoints:
+                if on_drop is not None:
+                    on_drop(message)
+                return
+            queue = self._service_queue_for(message.dst)
+            if queue is None:
+                process()
+            else:
+                queue.offer(process, overflow)
+
         self.simulator.schedule(delay, deliver)
 
     def request_async(self, message: Message,
@@ -264,6 +447,9 @@ class Transport:
         * when the destination unregistered before delivery
           (``status="dropped"``) — churn surfaced to the caller instead
           of a :class:`DeliveryError`;
+        * when the destination's bounded service queue was full
+          (``status="overflow"``) — congestion; the caller may
+          retransmit;
         * after ``timeout`` virtual seconds without any of the above
           (``status="timeout"``); a reply arriving later is discarded.
 
@@ -296,7 +482,8 @@ class Transport:
             on_reply=lambda reply: finish("ok", reply),
             on_drop=lambda _message: finish("dropped", None),
             on_delivered=lambda _message, reply:
-                finish("ok", None) if reply is None else None)
+                finish("ok", None) if reply is None else None,
+            on_overflow=lambda _message: finish("overflow", None))
         if timeout is not None and timeout > 0:
             timeout_event[0] = self.simulator.schedule(
                 timeout, lambda: finish("timeout", None))

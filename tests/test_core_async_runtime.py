@@ -374,3 +374,82 @@ class TestMonitorSurfacing:
         snapshot = NetworkMonitor(network).snapshot()
         assert snapshot.queries_completed == 0
         assert snapshot.query_latency_p95 == 0.0
+
+
+# ----------------------------------------------------------------------
+# Byte attribution: per-query traces reconcile with the wire
+# ----------------------------------------------------------------------
+
+QUERY_TRAFFIC_KINDS = ("LookupHop", "ProbeBatch", "ProbeBatchReply")
+
+
+def query_traffic_bytes(network):
+    return {kind: network.bytes_by_kind().get(kind, 0.0)
+            for kind in QUERY_TRAFFIC_KINDS}
+
+
+class TestSharedBatchAttribution:
+    """Regression: coalesced (cross-query) messages must pro-rate their
+    wire bytes across participants — summed per-query bytes equal the
+    transport's counters exactly, instead of over-counting every shared
+    message once per participant.
+
+    The exact-reconciliation guarantee assumes ``request_timeout = 0``
+    (the default): a timed-out request's late reply is wire-accounted
+    but discarded by the sender, so no trace can be charged for it."""
+
+    def _reconcile(self, network, jobs):
+        wire = query_traffic_bytes(network)
+        charged = {kind: 0 for kind in QUERY_TRAFFIC_KINDS}
+        for job in jobs:
+            for kind, nbytes in job.trace.bytes_by_kind.items():
+                if kind in charged:
+                    charged[kind] += nbytes
+        for kind in QUERY_TRAFFIC_KINDS:
+            assert charged[kind] == wire[kind], (
+                f"{kind}: traces charged {charged[kind]}, "
+                f"wire carried {wire[kind]:.0f}")
+
+    def test_coalesced_traffic_reconciles(self):
+        network = build_network(batch_lookups=True, async_queries=True,
+                                dispatch_window=0.05)
+        origin = network.peer_ids()[0]
+        network.reset_traffic()
+        # Identical queries submitted at the same instant coalesce into
+        # shared lookups and probe batches.
+        jobs = [network.runtime.submit(origin, QUERIES[0])
+                for _ in range(3)]
+        network.simulator.run()
+        assert all(job.done for job in jobs)
+        assert network.runtime.coalesced_probe_keys() > 0
+        self._reconcile(network, jobs)
+
+    def test_open_workload_reconciles(self):
+        network = build_network(batch_lookups=True, async_queries=True,
+                                dispatch_window=0.04)
+        origins = [network.peer_ids()[0]]
+        network.reset_traffic()
+        jobs = network.run_queries(QUERIES * 4, origins=origins,
+                                   arrival_rate=300.0)
+        self._reconcile(network, jobs)
+
+    def test_open_workload_reconciles_with_pipelining(self):
+        network = build_network(batch_lookups=True, async_queries=True,
+                                dispatch_window=0.04,
+                                pipeline_levels=True)
+        origins = [network.peer_ids()[0]]
+        network.reset_traffic()
+        jobs = network.run_queries(QUERIES * 4, origins=origins,
+                                   arrival_rate=300.0)
+        self._reconcile(network, jobs)
+
+    def test_single_query_still_charged_in_full(self):
+        # With one participant the pro-rated share IS the whole message,
+        # so the single-query byte equality with the sync path holds.
+        network = build_network(batch_lookups=True, async_queries=True)
+        origin = network.peer_ids()[0]
+        network.reset_traffic()
+        _results, trace = network.query(origin, QUERIES[1])
+        wire = query_traffic_bytes(network)
+        for kind in QUERY_TRAFFIC_KINDS:
+            assert trace.bytes_by_kind.get(kind, 0) == wire[kind]

@@ -5,6 +5,7 @@ import pytest
 from repro.dht.congestion import (
     AimdSender,
     CongestionConfig,
+    CongestionWindow,
     QueueingNode,
     UncontrolledSender,
 )
@@ -168,3 +169,183 @@ class TestCongestionCollapseContrast:
         controlled_waste = node_c.dropped / max(1, node_c.arrived)
         assert controlled_goodput >= 0.8 * 50.0
         assert controlled_waste < waste_ratio
+
+
+class TestCongestionWindow:
+    """The reusable AIMD core (also grafted onto the query runtime)."""
+
+    def test_additive_increase_on_ack(self):
+        window = CongestionWindow(initial=2.0, max_window=10.0)
+        window.on_send()
+        window.on_ack(now=0.0)
+        assert window.window == pytest.approx(2.5)
+        assert window.outstanding == 0
+        assert window.acks == 1
+
+    def test_can_send_respects_window(self):
+        window = CongestionWindow(initial=2.0)
+        assert window.can_send()
+        window.on_send()
+        window.on_send()
+        assert not window.can_send()
+        window.on_ack(now=0.0)
+        assert window.can_send()
+
+    def test_decrease_at_most_once_per_rtt(self):
+        # A burst of drops inside one RTT is ONE congestion event.
+        window = CongestionWindow(initial=16.0, rtt_estimate=0.1)
+        for _ in range(4):
+            window.on_send()
+        window.on_drop(now=1.0)
+        window.on_drop(now=1.04)
+        window.on_drop(now=1.09)
+        assert window.window == pytest.approx(8.0)
+        assert window.decreases == 1
+        assert window.drops == 3
+        # A drop one RTT later is a fresh congestion event.
+        window.on_drop(now=1.11)
+        assert window.window == pytest.approx(4.0)
+        assert window.decreases == 2
+
+    def test_window_floor_and_cap(self):
+        window = CongestionWindow(initial=2.0, max_window=2.5,
+                                  rtt_estimate=0.1)
+        window.on_send()
+        window.on_ack(now=0.0)
+        window.on_send()
+        window.on_ack(now=0.0)
+        assert window.window == pytest.approx(2.5)    # capped
+        for step in range(5):
+            window.on_send()
+            window.on_drop(now=float(step))
+        assert window.window == pytest.approx(1.0)    # floored
+
+    def test_ack_and_drop_release_slots(self):
+        window = CongestionWindow(initial=4.0)
+        for _ in range(3):
+            window.on_send()
+        assert window.outstanding == 3
+        window.on_ack(now=0.0)
+        window.on_drop(now=0.0)
+        assert window.outstanding == 1
+
+    def test_srtt_learning(self):
+        window = CongestionWindow(initial=2.0)
+        window.on_send()
+        window.on_ack(now=0.0, rtt_sample=0.2)
+        assert window.srtt == pytest.approx(0.2)      # first sample seeds
+        window.on_send()
+        window.on_ack(now=0.0, rtt_sample=0.4)
+        assert 0.2 < window.srtt < 0.4                # smoothed
+
+    def test_trajectory_recorded(self):
+        window = CongestionWindow(initial=2.0, rtt_estimate=0.1)
+        window.on_send()
+        window.on_ack(now=1.0)
+        window.on_send()
+        window.on_drop(now=2.0)
+        times = [time for time, _w in window.trajectory]
+        assert times == [1.0, 2.0]
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionWindow(initial=0.5, min_window=1.0)
+        with pytest.raises(ValueError):
+            CongestionWindow(initial=8.0, max_window=4.0)
+
+
+class TestDropNotificationDelay:
+    """Regression: the drop signal must travel back one network delay,
+    not fire instantly at the node (senders must not learn of drops
+    faster than of acks)."""
+
+    def test_drop_callback_pays_network_delay(self):
+        simulator, config, node = _setup(queue_capacity=1)
+        node.offer(lambda: None, lambda: None)      # enters service
+        node.offer(lambda: None, lambda: None)      # queued
+        drop_times = []
+        node.offer(lambda: None,
+                   lambda: drop_times.append(simulator.now))
+        # Counted at the node immediately, but the sender has not
+        # heard yet.
+        assert node.dropped == 1
+        assert drop_times == []
+        simulator.run()
+        assert drop_times == pytest.approx([config.network_delay])
+
+
+class TestAimdBurstCoalescing:
+    """Regression: a burst of same-instant drops must halve the window
+    once (one congestion event per RTT) and schedule ONE refill, not one
+    per drop."""
+
+    def _burst_setup(self, service_rate):
+        simulator = Simulator()
+        config = CongestionConfig(service_rate=service_rate,
+                                  queue_capacity=1, network_delay=0.05,
+                                  initial_window=8.0)
+        node = QueueingNode(simulator, config)
+        sender = AimdSender(simulator, node, config, workload=8)
+        return simulator, config, node, sender
+
+    def test_burst_drops_are_one_congestion_event(self):
+        simulator, _config, node, sender = self._burst_setup(10.0)
+        sender.start()
+        # 8 sends arrive together at 0.05: one serves, one queues, six
+        # drop; the drop signals land at 0.10, before any ack (0.20).
+        simulator.run_until(0.16)
+        assert sender.drops == 6
+        assert sender.window == pytest.approx(4.0)   # halved ONCE
+
+    def test_burst_refill_is_coalesced(self):
+        simulator, _config, node, sender = self._burst_setup(1.0)
+        sender.start()
+        pumps = []
+        original_pump = sender._pump
+
+        def counting_pump():
+            pumps.append(simulator.now)
+            original_pump()
+
+        sender._pump = counting_pump
+        # Service takes 1s, so the only pump before 0.25 is what the
+        # six same-instant drops (signalled at 0.10) scheduled for
+        # 0.20 — coalesced into exactly one.
+        simulator.run_until(0.25)
+        assert sender.drops == 6
+        assert len(pumps) == 1
+
+    def test_work_conserved_through_burst(self):
+        simulator, _config, node, sender = self._burst_setup(10.0)
+        sender.start()
+        simulator.run()
+        assert sender.acked == 8
+        assert sender.pending == 0
+
+
+class TestUncontrolledCounters:
+    """Regression: ``sent`` must count fresh sends only (the offered
+    load), with retransmissions split out, and the scheduled send count
+    must round rather than truncate."""
+
+    def test_fractional_rate_rounds(self):
+        simulator, config, node = _setup()
+        sender = UncontrolledSender(simulator, node, config,
+                                    offered_rate=2.9)
+        sender.start(duration=1.0)
+        simulator.run()
+        assert sender.sent == 3          # round(2.9), not int() -> 2
+
+    def test_sent_excludes_retransmissions(self):
+        simulator, config, node = _setup(service_rate=50.0,
+                                         queue_capacity=5)
+        sender = UncontrolledSender(simulator, node, config,
+                                    offered_rate=500.0)
+        sender.start(duration=1.0)
+        simulator.run()
+        assert sender.sent == 500        # the offered load, exactly
+        assert sender.retransmissions > 0
+        assert sender.transmissions == \
+            sender.sent + sender.retransmissions
+        # Every fresh request was eventually delivered via retries.
+        assert sender.acked == 500

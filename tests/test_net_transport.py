@@ -369,3 +369,93 @@ class TestRequestAsync:
         assert transport.inflight(2) == 2
         simulator.run()
         assert first.value.request_id != second.value.request_id
+
+
+class TestServiceModel:
+    """The bounded per-endpoint service queue (congestion model)."""
+
+    def _make(self, rate=10.0, capacity=2, reject_cost=0.0):
+        simulator, transport = _make_transport(register_requester=True)
+        transport.configure_service_model(rate, capacity, reject_cost)
+        transport.register(2, _Echo())
+        return simulator, transport
+
+    def _ping(self, transport, payload=None):
+        return transport.request_async(
+            Message(src=1, dst=2, kind="Ping", payload=payload or {}))
+
+    def test_service_adds_queueing_delay(self):
+        simulator, transport = self._make(rate=10.0, capacity=8)
+        first = self._ping(transport)
+        second = self._ping(transport)
+        simulator.run()
+        # link 0.1 + service 0.1 + reply 0.1 = 0.3; the second request
+        # additionally waits for the first one's full service slot.
+        assert first.value.rtt == pytest.approx(0.3)
+        assert second.value.rtt == pytest.approx(0.4)
+
+    def test_overflow_surfaced_with_return_delay(self):
+        simulator, transport = self._make(rate=1.0, capacity=1)
+        futures = [self._ping(transport) for _ in range(3)]
+        simulator.run_until(0.25)
+        # All three arrive at 0.1: one enters service, one queues, the
+        # third overflows — and its notification pays the return link
+        # latency (resolved at 0.2, never instantly at 0.1).
+        statuses = [future.value.status for future in futures
+                    if future.done]
+        assert statuses == ["overflow"]
+        assert futures[2].value.rtt == pytest.approx(0.2)
+        assert transport.queue_drops_total() == 1
+
+    def test_inactive_by_default(self):
+        simulator, transport = _make_transport(register_requester=True)
+        transport.register(2, _Echo())
+        assert not transport.service_model_active
+        future = self._ping(transport)
+        simulator.run()
+        # No service delay: plain 0.2 round trip.
+        assert future.value.rtt == pytest.approx(0.2)
+
+    def test_departure_while_queued_is_a_drop(self):
+        simulator, transport = self._make(rate=1.0, capacity=4)
+        first = self._ping(transport)
+        second = self._ping(transport)
+        # Both queued at 0.1; the endpoint departs at 0.5 — before the
+        # second one's service (1.1) completes.
+        simulator.schedule(0.5, lambda: transport.unregister(2))
+        simulator.run()
+        assert first.value.status == "dropped"
+        assert second.value.status == "dropped"
+
+    def test_service_stats_aggregate(self):
+        simulator, transport = self._make(rate=1.0, capacity=1)
+        for _ in range(3):
+            self._ping(transport)
+        simulator.run()
+        stats = transport.service_stats()
+        assert stats["arrived"] == 3
+        assert stats["dropped"] == 1
+        assert stats["completed"] == 2
+        assert stats["queued"] == 0
+        assert transport.service_queue_length(2) == 0
+
+    def test_reject_cost_consumes_capacity(self):
+        # Two servers, same offered pattern; the one paying reject cost
+        # finishes its useful work later.
+        def completion_time(reject_cost):
+            simulator, transport = self._make(rate=10.0, capacity=1,
+                                              reject_cost=reject_cost)
+            futures = [self._ping(transport) for _ in range(4)]
+            simulator.run()
+            return max(future.value.rtt for future in futures
+                       if future.value.status == "ok")
+        assert completion_time(0.5) > completion_time(0.0)
+
+    def test_invalid_configuration_rejected(self):
+        _simulator, transport = _make_transport()
+        with pytest.raises(ValueError):
+            transport.configure_service_model(-1.0, 4)
+        with pytest.raises(ValueError):
+            transport.configure_service_model(5.0, 0)
+        with pytest.raises(ValueError):
+            transport.configure_service_model(5.0, 4, reject_cost=-0.1)
