@@ -14,7 +14,10 @@ Runs the full pipeline of the paper on the built-in sample collection:
    with clock-measured latency percentiles,
 7. saturate the network (bounded per-endpoint service queues via
    ``service_rate``/``queue_capacity``) and let the AIMD congestion
-   controller (``congestion_control``) keep goodput at the knee.
+   controller (``congestion_control``) keep goodput at the knee,
+8. leave the simulator entirely: host the peers in real OS processes
+   and run the same queries over asyncio/UDP sockets
+   (:mod:`repro.cluster`), checking the top-k matches the simulator.
 
 Run with::
 
@@ -150,6 +153,43 @@ def main() -> None:
               f"retransmissions"
               + (f", cwnd mean {window['window_mean']:.1f}"
                  if controlled else ""))
+
+    # 8. Running a real UDP cluster.  Everything above executed inside
+    #    the discrete-event simulator — the default backend.  The same
+    #    engine also runs over real asyncio/UDP sockets between OS
+    #    processes: the backend selection knob is
+    #    ``AlvisNetwork.attach_transport`` (swap the simulated
+    #    ``SimTransport`` for a ``repro.net.udp.UdpTransport``), and
+    #    ``repro.cluster.ClusterDriver`` packages the whole recipe —
+    #    every process builds the identical seeded network, registers
+    #    only the peer slice it owns, and the driver routes the rest to
+    #    its sibling processes after a fingerprint-checked handshake.
+    #    From a shell the equivalent is::
+    #
+    #        python -m repro --peers 8 cluster --hosts 2 --queries 3
+    #
+    #    bench_e16_udp_cluster.py replays an E14-style Zipf workload
+    #    this way and writes BENCH_udp_cluster.json: its bytes/query
+    #    equals the simulator's (the wire codec is size-exact against
+    #    the byte model), while its latency percentiles are *measured*
+    #    wall-clock round trips — numbers the simulator can only model.
+    from repro.cluster import ClusterDriver, ClusterSpec
+
+    print("\nreal multi-process UDP cluster (same engine, real sockets):")
+    spec = ClusterSpec(num_peers=8, num_hosts=2, seed=42, mode="hdk")
+    with ClusterDriver(spec) as driver:
+        origin = sorted(driver.network.peer_ids())[0]
+        for terms in (["peer", "retrieval"], ["index"]):
+            udp_results, _trace = driver.run_query(origin, terms)
+            sim_results, _trace = network.query(
+                network.peer_ids()[0], terms)
+            match = ([d.doc_id for d in udp_results]
+                     == [d.doc_id for d in sim_results])
+            print(f"  {' '.join(terms):>16}: {len(udp_results)} results "
+                  f"over UDP, top-k matches simulator: {match}")
+        print(f"  {driver.transport.datagrams_sent} datagrams sent, "
+              f"{driver.transport.wire_bytes_sent} wire bytes, "
+              f"{spec.num_hosts} OS processes")
 
 
 if __name__ == "__main__":

@@ -62,6 +62,23 @@ def build_parser() -> argparse.ArgumentParser:
         "monitor", help="print the network-state dashboard")
     monitor.add_argument("--queries", type=int, default=10,
                          help="queries to run before the snapshot")
+
+    cluster = subparsers.add_parser(
+        "cluster", help="run queries over a real localhost UDP cluster "
+                        "(multi-process)")
+    cluster.add_argument("--hosts", type=int, default=2,
+                         help="number of OS processes hosting peers")
+    cluster.add_argument("--queries", type=int, default=3,
+                         help="number of showcase queries")
+    cluster.add_argument("--timeout", type=float, default=5.0,
+                         help="per-request UDP timeout in seconds")
+    # Internal: how the driver re-invokes this CLI as a peer host.
+    cluster.add_argument("--serve-host", type=int, default=None,
+                         help=argparse.SUPPRESS)
+    cluster.add_argument("--driver", default=None,
+                         help=argparse.SUPPRESS)
+    cluster.add_argument("--spec", default=None,
+                         help=argparse.SUPPRESS)
     return parser
 
 
@@ -144,6 +161,46 @@ def _command_monitor(args, out) -> int:
     return 0
 
 
+def _command_cluster(args, out) -> int:
+    # Imported lazily: the cluster layer pulls in asyncio/subprocess
+    # machinery the simulated commands never need.
+    from repro.cluster import ClusterDriver, ClusterSpec, PeerProcessHost
+
+    if args.serve_host is not None:
+        # Internal entry point: this process is a peer host spawned by a
+        # ClusterDriver; --driver/--spec carry the rendezvous details.
+        if not args.driver or not args.spec:
+            raise SystemExit("--serve-host requires --driver and --spec")
+        host, _, port = args.driver.rpartition(":")
+        return PeerProcessHost(ClusterSpec.from_json(args.spec),
+                               args.serve_host,
+                               (host, int(port))).serve()
+    spec = ClusterSpec(num_peers=args.peers, num_hosts=args.hosts,
+                       seed=args.seed, mode=args.mode,
+                       request_timeout=args.timeout)
+    with ClusterDriver(spec) as driver:
+        network = driver.network
+        print(f"UDP cluster: {network} across {args.hosts} processes, "
+              f"driver at {driver.transport.local_address[0]}:"
+              f"{driver.transport.local_address[1]}", file=out)
+        workload = QueryWorkload.from_documents(
+            list(_all_documents(network)),
+            QueryWorkloadConfig(pool_size=max(args.queries, 1),
+                                seed=args.seed))
+        origin = sorted(network.peer_ids())[0]
+        rng = make_rng(args.seed, "cli-cluster")
+        for _index in range(args.queries):
+            query_terms = list(workload.sample(rng))
+            print(f"\nquery: {' '.join(query_terms)}", file=out)
+            results, trace = driver.run_query(origin, query_terms)
+            _print_results(network, origin, results, trace, args.k, out)
+        print(f"\n[{driver.transport.datagrams_sent} datagrams out, "
+              f"{driver.transport.datagrams_received} in, "
+              f"{driver.transport.wire_bytes_sent} wire bytes out]",
+              file=out)
+    return 0
+
+
 def _all_documents(network):
     for peer in network.peers():
         yield from peer.engine.store
@@ -153,6 +210,7 @@ _COMMANDS = {
     "demo": _command_demo,
     "query": _command_query,
     "monitor": _command_monitor,
+    "cluster": _command_cluster,
 }
 
 

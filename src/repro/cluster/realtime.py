@@ -1,0 +1,128 @@
+"""Wall-clock driver for the discrete-event kernel.
+
+The async query runtime (:mod:`repro.core.runtime`) is written against
+the simulator: its dispatchers are procs, its timers are simulator
+events, its futures resolve from transport callbacks.  To run that
+machinery over real UDP sockets nothing needs rewriting — the event
+loop just has to advance in *wall-clock* time instead of jumping from
+event to event.  :class:`RealtimeKernel` is that adapter: an asyncio
+task on the UDP transport's loop thread that
+
+* executes every simulator event whose timestamp has come due (virtual
+  time is anchored to ``time.monotonic()`` at start), then parks the
+  virtual clock at the current wall-elapsed time, so ``simulator.now``
+  — and therefore every measured ``trace.latency`` — is real elapsed
+  seconds;
+* sleeps until the next scheduled event, capped at ``max_sleep`` so
+  freshly scheduled work is never stranded behind a long timer; and
+* wakes immediately on datagram activity (the transport's
+  ``on_activity`` hook), because a UDP reply resolves futures that
+  typically schedule follow-up events at the current time.
+
+Everything — datagram handlers, simulator events, proc steps — runs on
+the single transport loop thread, preserving the simulator's
+no-concurrency invariant; the driving (main) thread only reads
+``job.done`` flags and must not touch the simulator while the kernel
+runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.net.udp import UdpTransport
+from repro.sim.events import Simulator
+
+__all__ = ["RealtimeKernel"]
+
+
+class RealtimeKernel:
+    """Drives a :class:`Simulator` in wall-clock time on a UDP loop."""
+
+    def __init__(self, simulator: Simulator, transport: UdpTransport,
+                 max_sleep: float = 0.05):
+        if max_sleep <= 0:
+            raise ValueError(f"max_sleep must be > 0, got {max_sleep}")
+        self.simulator = simulator
+        self.transport = transport
+        self.max_sleep = max_sleep
+        self._wake: Optional[asyncio.Event] = None
+        self._task = None            # concurrent.futures.Future
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "RealtimeKernel":
+        """Begin driving the simulator on the transport's loop thread."""
+        if self._task is not None:
+            raise RuntimeError("kernel already started")
+        self._stopped = False
+        started = threading.Event()
+        self.transport.on_activity = self._wake_from_loop
+        self._task = asyncio.run_coroutine_threadsafe(
+            self._drive(started), self.transport.loop)
+        started.wait(5.0)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the driving task (pending simulator events remain queued)."""
+        if self._task is None:
+            return
+        self._stopped = True
+        self.transport.call_in_loop(self._wake_from_loop)
+        self._task.result(timeout)
+        self._task = None
+        self.transport.on_activity = None
+
+    def submit(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` on the kernel thread (to schedule simulator work)."""
+        def work() -> None:
+            fn()
+            self._wake_from_loop()
+        self.transport.call_in_loop(work)
+
+    # ------------------------------------------------------------------
+
+    def _wake_from_loop(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
+
+    async def _drive(self, started: threading.Event) -> None:
+        self._wake = asyncio.Event()
+        started.set()
+        anchor_wall = time.monotonic()
+        anchor_virtual = self.simulator.now
+        queue = self.simulator.queue
+        clock = self.simulator.clock
+        while not self._stopped:
+            now_virtual = anchor_virtual + (time.monotonic() - anchor_wall)
+            # Run everything due.  Events are popped in timestamp order
+            # and are never scheduled in the past, so advance_to is safe.
+            while True:
+                next_time = queue.peek_time()
+                if next_time is None or next_time > now_virtual:
+                    break
+                event = queue.pop()
+                clock.advance_to(event.time)
+                event.callback()
+                self.simulator._events_processed += 1
+            # Park the clock at wall-elapsed virtual time so latency
+            # measurements (clock.now deltas) report real seconds.
+            if now_virtual > clock.now:
+                clock.advance_to(now_virtual)
+            next_time = queue.peek_time()
+            if next_time is None:
+                delay = self.max_sleep
+            else:
+                delay = min(max(next_time - now_virtual, 0.0),
+                            self.max_sleep)
+            try:
+                await asyncio.wait_for(self._wake.wait(),
+                                       timeout=max(delay, 0.001))
+            except asyncio.TimeoutError:
+                pass
+            self._wake.clear()
+        self._wake = None

@@ -47,7 +47,7 @@ from repro.ir.analysis import Analyzer
 from repro.ir.documents import Document
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
-from repro.net.transport import Transport
+from repro.net.transport import SimTransport, TransportBackend
 from repro.sim.events import Simulator
 from repro.util.rng import make_rng
 
@@ -81,7 +81,7 @@ class AlvisNetwork:
         self.virtual_nodes = virtual_nodes
         self.analyzer = analyzer if analyzer is not None else Analyzer()
         self.simulator = Simulator()
-        self.transport = Transport(
+        self.transport = SimTransport(
             self.simulator,
             latency if latency is not None else ConstantLatency(0.02),
             make_rng(seed, "latency"))
@@ -611,6 +611,26 @@ class AlvisNetwork:
         self._peers[peer_id] = peer
         self.transport.register(peer_id, peer)
         return peer
+
+    # ------------------------------------------------------------------
+    # Transport backend seam
+    # ------------------------------------------------------------------
+
+    def attach_transport(self,
+                         transport: TransportBackend) -> TransportBackend:
+        """Swap the network onto a different transport backend.
+
+        Rewires every component that holds the transport (the ring's
+        lookup path and the network's own send path) and returns the
+        previous backend.  Endpoint registration is deliberately left to
+        the caller: a cluster driver registers only the peers its process
+        owns and routes the rest (see :mod:`repro.cluster`), which is
+        exactly the split a blanket re-registration would get wrong.
+        """
+        previous = self.transport
+        self.transport = transport
+        self.ring.transport = transport
+        return previous
 
     # ------------------------------------------------------------------
     # Accounting helpers (used by repro.eval and the benchmarks)

@@ -251,8 +251,15 @@ class RetrievalComponent:
         exact_scores: Dict[int, float] = {}
         for owner, doc_ids in by_owner.items():
             payload = {"terms": terms, "doc_ids": doc_ids}
-            reply, rtt = self.network.send(origin, owner,
-                                           protocol.REFINE_QUERY, payload)
+            try:
+                reply, rtt = self.network.send(origin, owner,
+                                               protocol.REFINE_QUERY, payload)
+            except DeliveryError:
+                # Owner departed between the probe and the refinement
+                # round-trip: keep the approximate scores for its
+                # documents, exactly as the async runtime's _refine does.
+                trace.request_messages += 1
+                continue
             trace.request_messages += 1
             trace.rtt_estimate += rtt
             if reply is not None:

@@ -17,7 +17,7 @@ from repro.dht.idspace import ID_BITS
 from repro.dht.node import DHTNode
 from repro.dht.routing import FingerTableStrategy, HopSpaceFingers
 from repro.net.message import Message
-from repro.net.transport import Transport
+from repro.net.transport import TransportBackend
 from repro.sim.procs import all_of
 
 __all__ = ["LookupResult", "BatchLookupResult", "DHTRing"]
@@ -71,7 +71,7 @@ class DHTRing:
     """A set of :class:`DHTNode` objects plus routing orchestration."""
 
     def __init__(self, strategy: Optional[FingerTableStrategy] = None,
-                 transport: Optional[Transport] = None):
+                 transport: Optional[TransportBackend] = None):
         self.strategy = strategy if strategy is not None else HopSpaceFingers()
         self.transport = transport
         self._nodes: Dict[int, DHTNode] = {}

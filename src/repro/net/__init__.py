@@ -1,12 +1,21 @@
 """Transport layer (L1 of the AlvisP2P architecture).
 
-Simulated point-to-point messaging between peers with:
+Point-to-point messaging between peers with:
 
 * an explicit per-message **byte-size model** (:mod:`repro.net.message`) so
   that bandwidth experiments measure realistic wire sizes,
-* pluggable **latency models** (:mod:`repro.net.latency`), and
-* a **transport** that accounts every byte by message type
-  (:mod:`repro.net.transport`).
+* pluggable **latency models** (:mod:`repro.net.latency`),
+* a **backend seam** (:class:`TransportBackend`) with two implementations:
+  the default discrete-event :class:`SimTransport`
+  (:mod:`repro.net.transport`) and a real asyncio/UDP backend
+  (:mod:`repro.net.udp`), and
+* a size-exact **wire codec** (:mod:`repro.net.wire`) shared by the real
+  backend and the cluster handshake.
+
+``Transport`` remains an alias for :class:`SimTransport` so existing
+call-sites keep working; :class:`~repro.net.udp.UdpTransport` is imported
+lazily by the cluster layer (it pulls in asyncio machinery the simulator
+never needs).
 """
 
 from repro.net.latency import (
@@ -16,7 +25,14 @@ from repro.net.latency import (
     UniformLatency,
 )
 from repro.net.message import HEADER_BYTES, Message, encoded_size
-from repro.net.transport import DeliveryError, Endpoint, Transport
+from repro.net.transport import (
+    DeliveryError,
+    Endpoint,
+    RequestOutcome,
+    SimTransport,
+    Transport,
+    TransportBackend,
+)
 
 __all__ = [
     "ConstantLatency",
@@ -28,5 +44,8 @@ __all__ = [
     "encoded_size",
     "DeliveryError",
     "Endpoint",
+    "RequestOutcome",
+    "SimTransport",
     "Transport",
+    "TransportBackend",
 ]

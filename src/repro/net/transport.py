@@ -1,4 +1,11 @@
-"""The simulated transport.
+"""The simulated transport (default :class:`TransportBackend`).
+
+The query engine and the async runtime talk to the network through the
+:class:`TransportBackend` protocol; :class:`SimTransport` below is its
+discrete-event implementation (and the default), while
+:mod:`repro.net.udp` provides a real asyncio/UDP backend with the same
+surface.  ``Transport`` remains an alias of :class:`SimTransport` for
+backwards compatibility.
 
 Two delivery modes are offered:
 
@@ -51,7 +58,8 @@ from repro.net.message import Message
 from repro.sim.events import Simulator
 from repro.sim.procs import Future
 
-__all__ = ["DeliveryError", "Endpoint", "RequestOutcome", "Transport"]
+__all__ = ["DeliveryError", "Endpoint", "RequestOutcome", "SimTransport",
+           "Transport", "TransportBackend"]
 
 
 class DeliveryError(Exception):
@@ -98,6 +106,71 @@ class Endpoint(Protocol):
 
     def on_message(self, message: Message) -> Optional[Message]:
         """Handle one inbound message, optionally returning a reply."""
+        ...
+
+
+class TransportBackend(Protocol):
+    """What the query engine requires from a transport.
+
+    Extracted from the simulated transport so the same
+    ``QueryEngine`` / ``AsyncQueryRuntime`` code drives either the
+    discrete-event simulator (:class:`SimTransport`) or real sockets
+    (:class:`repro.net.udp.UdpTransport`).  Implementations must mirror
+    the failure semantics documented on :class:`SimTransport`:
+
+    * :meth:`request` raises :class:`DeliveryError` for unknown or
+      departed destinations (and, on real networks, timeouts);
+    * :meth:`request_async` never raises — churn, congestion and
+      timeouts are surfaced as the :class:`RequestOutcome` status;
+    * per-destination in-flight counts cover every
+      :meth:`request_async` send-to-resolution window and return to
+      zero once all outcomes resolved.
+    """
+
+    #: Per-destination inbound traffic, for load-balance metrics.
+    bytes_in: Dict[int, int]
+    msgs_in: Dict[int, int]
+
+    def register(self, peer_id: int, endpoint: Endpoint) -> None:
+        """Attach a locally-hosted endpoint under ``peer_id``."""
+        ...
+
+    def unregister(self, peer_id: int) -> None:
+        """Detach a peer (e.g. on churn departure)."""
+        ...
+
+    def is_registered(self, peer_id: int) -> bool:
+        ...
+
+    def endpoints(self) -> Tuple[int, ...]:
+        ...
+
+    def reset_load_counters(self) -> None:
+        ...
+
+    def inflight(self, peer_id: int) -> int:
+        ...
+
+    def total_inflight(self) -> int:
+        ...
+
+    def request(self, message: Message) -> Tuple[Optional[Message], float]:
+        ...
+
+    def send_local(self, message: Message) -> Optional[Message]:
+        ...
+
+    def send_async(self, message: Message,
+                   on_reply: Optional[Callable[[Message], None]] = None,
+                   on_drop: Optional[Callable[[Message], None]] = None,
+                   on_delivered: Optional[
+                       Callable[[Message, Optional[Message]], None]] = None,
+                   on_overflow: Optional[
+                       Callable[[Message], None]] = None) -> None:
+        ...
+
+    def request_async(self, message: Message,
+                      timeout: Optional[float] = None) -> Future:
         ...
 
 
@@ -168,8 +241,13 @@ class _ServiceQueue:
         self.simulator.schedule(service_time, finish)
 
 
-class Transport:
-    """Point-to-point messaging between registered endpoints."""
+class SimTransport:
+    """Point-to-point messaging between registered endpoints (simulated).
+
+    The default :class:`TransportBackend`: delivery happens in virtual
+    time on the discrete-event kernel, with per-message byte accounting
+    against the wire-size model of :mod:`repro.net.message`.
+    """
 
     def __init__(self, simulator: Simulator,
                  latency: Optional[LatencyModel] = None,
@@ -488,3 +566,8 @@ class Transport:
             timeout_event[0] = self.simulator.schedule(
                 timeout, lambda: finish("timeout", None))
         return future
+
+
+#: Backwards-compatible alias: the simulated transport was simply called
+#: ``Transport`` before the backend seam was extracted.
+Transport = SimTransport

@@ -150,3 +150,64 @@ class TestByteAccountingReconciliation:
         assert warm.bytes_sent == 0
         assert warm.bytes_by_kind == {}
         assert sum(warm.bytes_by_kind.values()) == warm.bytes_sent
+
+
+class TestRefineDepartedOwner:
+    """Sync-path failure parity: a document owner that departs between
+    the probe and the refinement round-trip must degrade gracefully
+    (keep the approximate scores), matching the async runtime's
+    ``_refine`` — not crash the query with a DeliveryError."""
+
+    def _network(self, small_corpus):
+        network = AlvisNetwork(
+            num_peers=10,
+            config=AlvisConfig(refine_with_local_engines=True,
+                               refine_pool_factor=3,
+                               cache_bytes=64 * 1024), seed=3)
+        network.distribute_documents(small_corpus.documents())
+        network.build_index(mode="hdk")
+        return network
+
+    def test_refine_survives_departed_owner(self, small_corpus,
+                                            small_workload):
+        network = self._network(small_corpus)
+        origin = network.peer_ids()[0]
+        query = list(small_workload.pool[2])
+        results, _trace = network.query(origin, query, refine=True)
+        assert results
+        owners = {network.doc_owner(document.doc_id)
+                  for document in results}
+        owners.discard(origin)
+        owners.discard(None)
+        assert owners, "need a remote document owner for this test"
+        # Half-dead departure: gone from the transport (requests drop)
+        # but still the registered doc owner — exactly the mid-query
+        # churn window.  The cache serves the probes, so the query
+        # reaches refinement and must survive the dead owner there.
+        departed = sorted(owners)[0]
+        network.transport.unregister(departed)
+        results_after, trace = network.query(origin, query, refine=True)
+        assert results_after  # graceful: approximate scores kept
+        assert {document.doc_id for document in results_after} == \
+            {document.doc_id for document in results}
+        assert trace.request_messages > 0
+
+    def test_refined_scores_kept_for_live_owners(self, small_corpus,
+                                                 small_workload):
+        network = self._network(small_corpus)
+        origin = network.peer_ids()[0]
+        query = list(small_workload.pool[2])
+        baseline, _trace = network.query(origin, query, refine=True)
+        departed = sorted({network.doc_owner(document.doc_id)
+                           for document in baseline}
+                          - {origin, None})[0]
+        network.transport.unregister(departed)
+        refined, _trace = network.query(origin, query, refine=True)
+        # Documents owned by live peers still carry exact scores.
+        exact = {document.doc_id: document.score
+                 for document in baseline
+                 if network.doc_owner(document.doc_id) != departed}
+        for document in refined:
+            if document.doc_id in exact:
+                assert document.score == pytest.approx(
+                    exact[document.doc_id])

@@ -459,3 +459,85 @@ class TestServiceModel:
             transport.configure_service_model(5.0, 0)
         with pytest.raises(ValueError):
             transport.configure_service_model(5.0, 4, reject_cost=-0.1)
+
+
+class TestInflightAccounting:
+    """Per-destination in-flight counts must return to zero on *every*
+    request_async resolution path — a leak here would starve the
+    congestion controller's window bookkeeping forever.
+
+    (Audit note: the ``finish()`` guard on ``future.done`` makes each
+    path decrement exactly once; these tests pin that invariant.)
+    """
+
+    def test_counts_while_in_flight(self):
+        simulator, transport = _make_transport(register_requester=True)
+        transport.register(2, _Echo())
+        transport.request_async(Message(src=1, dst=2, kind="Ping"))
+        transport.request_async(Message(src=1, dst=2, kind="Ping"))
+        assert transport.inflight(2) == 2
+        assert transport.total_inflight() == 2
+        simulator.run()
+        assert transport.inflight(2) == 0
+        assert transport.total_inflight() == 0
+
+    def test_zero_after_timeout_and_late_reply(self):
+        # Timeout fires at 0.05, the reply lands at 0.2: the late reply
+        # must not decrement a second time (no negative/garbage counts).
+        simulator, transport = _make_transport(register_requester=True)
+        transport.register(2, _Echo())
+        future = transport.request_async(
+            Message(src=1, dst=2, kind="Ping"), timeout=0.05)
+        simulator.run_until(0.1)
+        assert future.value.status == "timeout"
+        assert transport.total_inflight() == 0
+        simulator.run()
+        assert future.value.status == "timeout"
+        assert transport.total_inflight() == 0
+
+    def test_zero_after_churn_drop(self):
+        simulator, transport = _make_transport(register_requester=True)
+        transport.register(2, _Echo())
+        future = transport.request_async(
+            Message(src=1, dst=2, kind="Ping"))
+        transport.unregister(2)  # departs before delivery at 0.1
+        simulator.run()
+        assert future.value.status == "dropped"
+        assert transport.total_inflight() == 0
+
+    def test_zero_after_service_queue_overflow(self):
+        simulator, transport = _make_transport(register_requester=True)
+        transport.configure_service_model(1.0, 1)
+        transport.register(2, _Echo())
+        futures = [transport.request_async(
+            Message(src=1, dst=2, kind="Ping")) for _ in range(3)]
+        simulator.run()
+        statuses = sorted(future.value.status for future in futures)
+        assert "overflow" in statuses
+        assert transport.inflight(2) == 0
+        assert transport.total_inflight() == 0
+
+    def test_zero_after_reply_leg_drop(self):
+        # The requester departs while its request is in flight; the
+        # reply cannot be delivered, yet the count still drains.
+        simulator, transport = _make_transport(register_requester=True)
+        transport.register(2, _Echo())
+        future = transport.request_async(
+            Message(src=1, dst=2, kind="Ping"))
+        simulator.schedule(0.15, lambda: transport.unregister(1))
+        simulator.run()
+        assert future.done
+        assert future.value.status == "dropped"
+        assert transport.total_inflight() == 0
+
+    def test_zero_after_departed_while_queued(self):
+        simulator, transport = _make_transport(register_requester=True)
+        transport.configure_service_model(1.0, 4)
+        transport.register(2, _Echo())
+        futures = [transport.request_async(
+            Message(src=1, dst=2, kind="Ping")) for _ in range(2)]
+        simulator.schedule(0.5, lambda: transport.unregister(2))
+        simulator.run()
+        assert all(future.value.status == "dropped"
+                   for future in futures)
+        assert transport.total_inflight() == 0

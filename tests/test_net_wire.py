@@ -1,0 +1,194 @@
+"""Golden wire-format tests for the UDP codec.
+
+Every message kind on the query path round-trips through
+``encode``/``decode``, and the encoded length is reconciled against the
+repo's byte-size model (``Message.size_bytes``): the codec was designed
+field-name-on-wire so the two agree *exactly*, and ``WIRE_SIZE_DELTA``
+pins that contract at zero — any schema change that breaks size parity
+fails here, not in a bandwidth experiment.
+"""
+
+import struct
+
+import pytest
+
+from repro.core import protocol
+from repro.ir.postings import Posting, PostingList
+from repro.net import wire
+from repro.net.message import HEADER_BYTES, Message
+from repro.net.wire import (
+    MAX_DATAGRAM_BYTES,
+    OversizedPayloadError,
+    TruncatedDatagramError,
+    UnknownKindError,
+    UnsupportedKindError,
+    WireError,
+)
+
+_POSTINGS = PostingList([Posting(11, 2.5), Posting(7, 1.25),
+                         Posting(3, 0.5)], global_df=9)
+
+#: One representative payload per wire-supported message kind (plus
+#: payload variants where senders use different field subsets).
+GOLDEN = [
+    (protocol.LOOKUP_HOP, {"key_id": 2**63 + 17}),
+    (protocol.LOOKUP_HOP, {"key_ids": [1, 2**64 - 1, 42]}),
+    (protocol.DF_PUBLISH, {"dfs": {"alpha": 3, "beta": 1}}),
+    (protocol.DF_GET, {"terms": ["alpha", "beta"]}),
+    (protocol.DF_REPLY, {"dfs": {"alpha": 12}}),
+    (protocol.COLLECTION_PUBLISH, {"peer": 2**60, "docs": 14,
+                                   "terms": 220}),
+    (protocol.COLLECTION_GET, {}),
+    (protocol.COLLECTION_REPLY, {"docs": 240, "terms": 9000,
+                                 "peers": 16}),
+    (protocol.PROBE_KEY, {"key_terms": ["peer", "retrieval"]}),
+    (protocol.PROBE_REPLY, {"found": True, "postings": _POSTINGS}),
+    (protocol.PROBE_REPLY, {"found": False, "postings": None}),
+    (protocol.PROBE_BATCH, {"keys": [["peer"], ["peer", "index"]]}),
+    (protocol.PROBE_BATCH_REPLY,
+     {"results": [{"found": True, "postings": _POSTINGS},
+                  {"found": False, "postings": None}]}),
+    (protocol.FEEDBACK, {"key_terms": ["peer"], "redundant": False}),
+    (protocol.CONTRIBUTORS_GET, {"term": "peer"}),
+    (protocol.CONTRIBUTORS_REPLY, {"contributors": {2**50: 4, 9: 1}}),
+    (protocol.HARVEST_KEY, {"key_terms": ["peer", "index"], "k": 10}),
+    (protocol.HARVEST_REPLY, {"postings": _POSTINGS, "local_df": 9}),
+    (protocol.REFINE_QUERY, {"terms": ["peer", "index"],
+                             "doc_ids": [3, 7, 11]}),
+    (protocol.REFINE_REPLY, {"scores": {3: 1.5, 7: 0.25}}),
+    (protocol.DOC_FETCH, {"doc_id": 7, "credentials": ["user", "pass"],
+                          "terms": ["peer"]}),
+    (protocol.DOC_FETCH, {"doc_id": 7, "credentials": None,
+                          "terms": []}),
+    (protocol.DOC_REPLY, {"ok": True, "title": "Two step retrieval",
+                          "url": "builtin://sample/11",
+                          "snippet": "…retrieval…"}),
+    (protocol.DOC_REPLY, {"ok": False, "error": "unknown document"}),
+    (protocol.RETRACT_DOC, {"key_terms": ["peer"], "doc_id": 3,
+                            "contributor": 8, "new_local_df": 2}),
+    (wire.ACK, {}),
+    (wire.ERR, {"error": "unknown-peer"}),
+    (wire.HELLO, {"host": 1, "port": 54321, "fingerprint": "ab" * 20}),
+    (wire.WELCOME, {"ok": True, "error": ""}),
+    (wire.BYE, {}),
+]
+
+
+def _normalize(value):
+    """Comparable form of a payload value (PostingList has no __eq__)."""
+    if isinstance(value, PostingList):
+        return ("postings", value.global_df,
+                tuple((posting.doc_id, posting.score)
+                      for posting in value.entries))
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, _normalize(item))
+                            for key, item in value.items()))
+    return value
+
+
+def _messages_equal(original: Message, decoded: Message) -> None:
+    assert decoded.src == original.src
+    assert decoded.dst == original.dst
+    assert decoded.kind == original.kind
+    assert decoded.message_id == original.message_id
+    assert decoded.reply_to == original.reply_to
+    assert _normalize(dict(decoded.payload)) == \
+        _normalize(dict(original.payload))
+
+
+class TestGoldenRoundTrips:
+    @pytest.mark.parametrize("kind,payload", GOLDEN,
+                             ids=[f"{kind}-{index}" for index, (kind, _)
+                                  in enumerate(GOLDEN)])
+    def test_round_trip(self, kind, payload):
+        message = Message(src=2**64 - 3, dst=5, kind=kind,
+                          payload=payload)
+        decoded = wire.decode(wire.encode(message))
+        _messages_equal(message, decoded)
+
+    @pytest.mark.parametrize("kind,payload", GOLDEN,
+                             ids=[f"{kind}-{index}" for index, (kind, _)
+                                  in enumerate(GOLDEN)])
+    def test_encoded_length_matches_size_model(self, kind, payload):
+        message = Message(src=1, dst=2, kind=kind, payload=payload)
+        assert len(wire.encode(message)) == \
+            message.size_bytes() + wire.WIRE_SIZE_DELTA
+
+    def test_delta_is_pinned_to_zero(self):
+        # The codec writes field names on the wire precisely so the
+        # encoded bytes equal the modelled bytes; a nonzero delta means
+        # simulator bandwidth numbers no longer describe the real wire.
+        assert wire.WIRE_SIZE_DELTA == 0
+
+    def test_reply_correlation_round_trips(self):
+        request = Message(src=1, dst=2, kind=protocol.PROBE_KEY,
+                          payload={"key_terms": ["peer"]})
+        reply = request.reply(protocol.PROBE_REPLY,
+                              {"found": False, "postings": None})
+        decoded = wire.decode(wire.encode(reply))
+        assert decoded.reply_to == request.message_id
+
+    def test_all_retrieval_kinds_covered(self):
+        supported = set(wire.supported_kinds())
+        for kind in protocol.RETRIEVAL_KINDS:
+            assert kind in supported
+        assert protocol.LOOKUP_HOP in supported
+
+
+class TestCodecFailureModes:
+    def _encoded(self):
+        return wire.encode(Message(src=1, dst=2, kind=protocol.PROBE_KEY,
+                                   payload={"key_terms": ["peer"]}))
+
+    def test_truncated_header(self):
+        with pytest.raises(TruncatedDatagramError):
+            wire.decode(self._encoded()[:HEADER_BYTES - 1])
+
+    def test_truncated_payload(self):
+        with pytest.raises(TruncatedDatagramError):
+            wire.decode(self._encoded()[:-3])
+
+    def test_empty_datagram(self):
+        with pytest.raises(TruncatedDatagramError):
+            wire.decode(b"")
+
+    def test_bad_magic(self):
+        data = bytearray(self._encoded())
+        data[0] ^= 0xFF
+        with pytest.raises(WireError):
+            wire.decode(bytes(data))
+
+    def test_unknown_kind_tag(self):
+        data = bytearray(self._encoded())
+        struct.pack_into(">H", data, 3, 0xFFFF)  # kind tag field
+        with pytest.raises(UnknownKindError):
+            wire.decode(bytes(data))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(WireError):
+            wire.decode(self._encoded() + b"\x00")
+
+    def test_unsupported_kind_encode(self):
+        with pytest.raises(UnsupportedKindError):
+            wire.encode(Message(src=1, dst=2, kind="NoSuchKind",
+                                payload={}))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(WireError):
+            wire.encode(Message(src=1, dst=2, kind=protocol.PROBE_KEY,
+                                payload={"bogus": 1}))
+
+    def test_oversized_payload_encode(self):
+        doc_ids = list(range((MAX_DATAGRAM_BYTES // 8) + 64))
+        with pytest.raises(OversizedPayloadError):
+            wire.encode(Message(src=1, dst=2, kind=protocol.REFINE_QUERY,
+                                payload={"terms": [],
+                                         "doc_ids": doc_ids}))
+
+    def test_failure_hierarchy(self):
+        # One except-clause in the transport catches every codec error.
+        for error in (TruncatedDatagramError, UnknownKindError,
+                      OversizedPayloadError, UnsupportedKindError):
+            assert issubclass(error, WireError)
