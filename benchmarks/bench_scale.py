@@ -1,0 +1,144 @@
+"""Scale sweep — the 100k-peer kernel benchmark (the scale-out gate).
+
+Sweeps network sizes through :mod:`repro.eval.scale` legs, each in its
+own subprocess (isolated peak RSS; the legacy leg additionally sets
+``REPRO_PURE_PYTHON=1`` to pin the pre-optimisation scoring path).
+
+Smoke mode (default, CI): a 1k-peer fast leg plus a 1k-peer legacy
+leg under a hard per-leg timeout — enough to catch regressions in the
+leg runner and in fast/legacy result equality.
+
+``BENCH_FULL=1``: the full 1k -> 10k -> 100k sweep with a 10k-peer
+fast-vs-legacy comparison.  Acceptance targets tracked by
+``BENCH_scale.json``:
+
+* the sweep completes at every size (100k peers is buildable and
+  queryable on one machine);
+* the 10k fast leg sustains >= 5x the effective events/sec of the
+  legacy kernel on the same churning query workload;
+* both profiles return byte-identical top-k results for every query.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from benchmarks.conftest import BENCH_SEED, write_bench_artifact
+from repro.eval.reporting import print_table
+
+#: Hard per-leg subprocess timeout (seconds): smoke legs are small and
+#: must stay CI-friendly; full legs include the 100k build.
+SMOKE_LEG_TIMEOUT = 300
+FULL_LEG_TIMEOUT = 2400
+
+#: The fast/legacy comparison must show at least this effective
+#: events/sec ratio on the churning workload.  The 5x gate applies to
+#: the full-mode 10k leg (where eager table rebuilds dominate); the 1k
+#: smoke leg only regression-checks a looser bound, since at that size
+#: a full rebuild is cheap and the ratio sits near the gate.
+MIN_SPEEDUP = 5.0
+MIN_SPEEDUP_SMOKE = 2.0
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _run_leg(peers, profile="fast", pure_python=False, queries=36,
+             churn=90, timeout=FULL_LEG_TIMEOUT):
+    """Run one leg as ``python -m repro.eval.scale`` and parse its JSON."""
+    env = dict(os.environ)
+    src = str(_REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_PURE_PYTHON", None)
+    if pure_python:
+        env["REPRO_PURE_PYTHON"] = "1"
+    command = [sys.executable, "-m", "repro.eval.scale",
+               "--peers", str(peers), "--profile", profile,
+               "--queries", str(queries), "--churn", str(churn),
+               "--seed", str(BENCH_SEED), "--json", "-"]
+    result = subprocess.run(command, capture_output=True, text=True,
+                            env=env, timeout=timeout, cwd=_REPO_ROOT)
+    assert result.returncode == 0, \
+        f"leg peers={peers} profile={profile} failed:\n{result.stderr}"
+    return json.loads(result.stdout)
+
+
+def _top_k_digest(leg):
+    canonical = json.dumps(leg["top_k"], sort_keys=True)
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
+
+def _strip(leg):
+    """Replace the bulky per-query fingerprint with its digest."""
+    slim = {name: value for name, value in leg.items()
+            if name != "top_k"}
+    slim["top_k_sha1"] = _top_k_digest(leg)
+    return slim
+
+
+def _report(legs, comparison, capsys):
+    with capsys.disabled():
+        print_table(
+            "Scale sweep (events/sec = effective, over the churning "
+            "workload phase)",
+            ["peers", "profile", "events/s", "kernel events/s",
+             "bytes/query", "wall s", "peak RSS MB"],
+            [[leg["peers"], leg["kernel_profile"],
+              leg["events_per_sec"], leg["kernel_events_per_sec"],
+              leg["bytes_per_query"], leg["wall_clock_s"],
+              leg["peak_rss_kb"] / 1024.0] for leg in legs])
+        print(f"fast vs legacy @ {comparison['peers']} peers: "
+              f"{comparison['speedup']:.1f}x events/sec, identical "
+              f"top-k: {comparison['identical_top_k']}")
+
+
+def test_scale_sweep(bench_smoke, capsys):
+    if bench_smoke:
+        sizes = [1000]
+        comparison_peers = 1000
+        queries, churn, timeout = 24, 40, SMOKE_LEG_TIMEOUT
+        min_speedup = MIN_SPEEDUP_SMOKE
+    else:
+        sizes = [1000, 10_000, 100_000]
+        comparison_peers = 10_000
+        queries, churn, timeout = 36, 90, FULL_LEG_TIMEOUT
+        min_speedup = MIN_SPEEDUP
+
+    legs = [_run_leg(peers, "fast", queries=queries, churn=churn,
+                     timeout=timeout) for peers in sizes]
+    legacy = _run_leg(comparison_peers, "legacy", pure_python=True,
+                      queries=queries, churn=churn, timeout=timeout)
+    fast = next(leg for leg in legs if leg["peers"] == comparison_peers)
+
+    identical = fast["top_k"] == legacy["top_k"]
+    speedup = (fast["events_per_sec"]
+               / max(legacy["events_per_sec"], 1e-9))
+    comparison = {
+        "peers": comparison_peers,
+        "fast_events_per_sec": fast["events_per_sec"],
+        "legacy_events_per_sec": legacy["events_per_sec"],
+        "speedup": speedup,
+        "identical_top_k": identical,
+        "min_speedup_required": min_speedup,
+    }
+    write_bench_artifact("scale", {
+        "legs": [_strip(leg) for leg in legs],
+        "legacy_leg": _strip(legacy),
+        "comparison": comparison,
+    })
+    _report(legs + [legacy], comparison, capsys)
+
+    # Acceptance: the optimisation must not change a single result...
+    assert identical, "fast and legacy kernels returned different top-k"
+    for leg in legs:
+        assert len(leg["top_k"]) == queries
+        assert leg["events_processed"] > 0
+        assert leg["peak_rss_kb"] > 0
+    # ...and must beat the unoptimised kernel by the required margin.
+    assert speedup >= min_speedup, (
+        f"fast kernel only {speedup:.2f}x legacy at "
+        f"{comparison_peers} peers (need >= {min_speedup}x)")

@@ -24,6 +24,7 @@ from repro.core.config import AlvisConfig
 from repro.core.network import AlvisNetwork
 from repro.corpus.queries import QueryWorkload, QueryWorkloadConfig
 from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.util.process import peak_rss_kb
 
 #: The reference scenario used by several experiments.
 BENCH_SEED = 1234
@@ -41,6 +42,51 @@ def bench_smoke() -> bool:
     return BENCH_SMOKE
 
 
+def pytest_addoption(parser):
+    try:
+        parser.addoption(
+            "--profile", action="store_true", default=False,
+            help="profile each benchmark with cProfile; writes "
+                 "benchmarks/profiles/<test>.prof and prints the top "
+                 "functions by cumulative time")
+    except ValueError:  # pragma: no cover - option already registered
+        pass
+
+
+@pytest.fixture(autouse=True)
+def _bench_profiler(request):
+    """Opt-in cProfile wrapper around every benchmark test.
+
+    Enabled by ``pytest benchmarks/ --profile`` or ``BENCH_PROFILE=1``;
+    off by default so profiling overhead never distorts the recorded
+    throughput numbers.
+    """
+    enabled = (request.config.getoption("--profile", default=False)
+               or os.environ.get("BENCH_PROFILE", "") == "1")
+    # pytest-benchmark's calibrated timing loop cannot run under an
+    # active cProfile (only one profiler can hold sys.setprofile).
+    if not enabled or "benchmark" in request.fixturenames:
+        yield
+        return
+    import cProfile
+    import pstats
+    profiler = cProfile.Profile()
+    profiler.enable()
+    yield
+    profiler.disable()
+    profile_dir = _ARTIFACT_DIR / "profiles"
+    profile_dir.mkdir(exist_ok=True)
+    safe_name = request.node.name.replace("/", "_").replace("[", "_") \
+        .replace("]", "")
+    path = profile_dir / f"{safe_name}.prof"
+    profiler.dump_stats(path)
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+    with capmanager.global_and_fixture_disabled():
+        print(f"\n--- cProfile: {request.node.name} -> {path} ---")
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(15)
+
+
 def write_bench_artifact(name: str, payload: dict) -> pathlib.Path:
     """Persist one benchmark's result dict as ``BENCH_<name>.json``.
 
@@ -48,7 +94,8 @@ def write_bench_artifact(name: str, payload: dict) -> pathlib.Path:
     smoke-mode numbers with full-size ones.
     """
     path = _ARTIFACT_DIR / f"BENCH_{name}.json"
-    document = {"name": name, "smoke": BENCH_SMOKE, "seed": BENCH_SEED}
+    document = {"name": name, "smoke": BENCH_SMOKE, "seed": BENCH_SEED,
+                "peak_rss_kb": peak_rss_kb()}
     document.update(payload)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")

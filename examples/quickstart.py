@@ -191,6 +191,42 @@ def main() -> None:
               f"{driver.transport.wire_bytes_sent} wire bytes, "
               f"{spec.num_hosts} OS processes")
 
+    # 9. Scaling out.  The kernel is sized for 100k-peer networks: slot
+    #    packed events with a batched heap, interned key objects,
+    #    numpy-vectorized owner-side BM25 (bitwise-identical to the
+    #    scalar path; REPRO_PURE_PYTHON=1 forces the fallback) and
+    #    churn-local routing-table maintenance.  A network pins the
+    #    unoptimised kernel with ``kernel_profile="legacy"`` — results
+    #    are trace-identical, only the wall-clock differs.  The sweep
+    #    driver measures both::
+    #
+    #        PYTHONPATH=src python -m repro.eval.scale \
+    #            --peers 10000 --queries 36 --churn 90 --json -
+    #
+    #    benchmarks/bench_scale.py runs the full 1k -> 10k -> 100k
+    #    sweep (BENCH_FULL=1) and writes BENCH_scale.json; read it by
+    #    leg: ``events_per_sec`` is effective kernel throughput over
+    #    the churning workload phase (the fast/legacy comparison's
+    #    ``speedup`` gates >= 5x at 10k peers), ``bytes_per_query`` the
+    #    network cost, ``peak_rss_kb`` the per-leg process footprint,
+    #    and ``top_k_sha1`` fingerprints result equality across
+    #    profiles.  Here, a quick in-process taste at demo scale:
+    from repro.eval.monitor import NetworkMonitor
+    from repro.eval.scale import run_leg
+
+    print("\nscale leg (800 peers, in-process demo size):")
+    leg = run_leg(peers=800, documents=60, queries=6, churn_events=10,
+                  kernel_profile="fast", seed=42)
+    print(f"  {leg['events_processed']} events at "
+          f"{leg['events_per_sec']:,.0f} events/s effective, "
+          f"{leg['bytes_per_query']:,.0f} bytes/query, "
+          f"peak RSS {leg['peak_rss_kb'] / 1024:,.0f} MB")
+    monitor = NetworkMonitor(congested)
+    snapshot = monitor.snapshot()
+    print(f"  monitor: {snapshot.events_processed:,} events "
+          f"({snapshot.events_per_sec:,.0f}/s) on the §7 network, "
+          f"peak RSS {snapshot.peak_rss_kb:,} KB")
+
 
 if __name__ == "__main__":
     main()

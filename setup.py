@@ -15,4 +15,10 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    # No hard dependencies: the simulator and the reference scoring
+    # path are pure stdlib.  numpy only accelerates the owner-side BM25
+    # (bitwise-identical results; see repro/util/npcompat.py).
+    extras_require={
+        "fast": ["numpy"],
+    },
 )

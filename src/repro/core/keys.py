@@ -4,40 +4,100 @@ A key is an *unordered set* of index terms ({a,b} == {b,a}).  Keys of size
 one are the classic single-term index entries; larger keys are the
 combinations HDK and QDI add.  Canonical form is the sorted tuple of terms,
 which makes hashing, wire encoding and subset enumeration deterministic.
+
+Keys are **interned**: constructing ``Key(terms)`` returns the one shared
+instance per canonical term tuple from the process-global
+:class:`KeyTable`.  Routing, caches and wire accounting therefore stop
+re-hashing tuple-of-str on every hop — the SHA-1 DHT id, the Python
+hash, the term frozenset and the wire size are all computed at most once
+per distinct key and cached on the singleton.  Each interned key also
+carries a dense integer :attr:`Key.kid`, usable as an array index.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import FrozenSet, Iterable, Iterator, List, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.dht.hashing import hash_terms
 
-__all__ = ["Key"]
+__all__ = ["Key", "KeyTable", "KEY_TABLE"]
 
 
-class Key:
-    """An immutable, canonicalized term combination."""
+class KeyTable:
+    """Process-global intern table mapping canonical term tuples to keys.
 
-    __slots__ = ("terms", "_hash")
+    ``kid`` numbers are dense (0, 1, 2, ...) in interning order and stay
+    unique for the lifetime of the process even across :meth:`clear` —
+    clearing only drops the tuple->Key mapping (so tests and benchmark
+    legs can release memory / isolate themselves), it never recycles
+    ids, which keeps stale keys from colliding with fresh ones.
+    """
 
-    def __init__(self, terms: Iterable[str]):
-        canonical: Tuple[str, ...] = tuple(sorted(set(terms)))
+    __slots__ = ("_by_terms", "_next_kid")
+
+    def __init__(self):
+        self._by_terms: Dict[Tuple[str, ...], "Key"] = {}
+        self._next_kid = 0
+
+    def intern(self, canonical: Tuple[str, ...]) -> "Key":
+        """Return the shared :class:`Key` for ``canonical`` terms."""
+        key = self._by_terms.get(canonical)
+        if key is not None:
+            return key
         if not canonical:
             raise ValueError("a key needs at least one term")
         if any(not term for term in canonical):
             raise ValueError("key terms must be non-empty strings")
-        object.__setattr__(self, "terms", canonical)
-        object.__setattr__(self, "_hash", hash(canonical))
+        key = object.__new__(Key)
+        object.__setattr__(key, "terms", canonical)
+        object.__setattr__(key, "kid", self._next_kid)
+        object.__setattr__(key, "_hash", hash(canonical))
+        object.__setattr__(key, "_key_id", None)
+        object.__setattr__(key, "_term_set", None)
+        object.__setattr__(key, "_wire_size", None)
+        self._next_kid += 1
+        # setdefault keeps interning single-winner even if two threads
+        # race on the same tuple (the loser's kid is simply skipped).
+        return self._by_terms.setdefault(canonical, key)
+
+    def clear(self) -> None:
+        """Drop all interned keys (kid numbering keeps monotonic)."""
+        self._by_terms.clear()
+
+    def __len__(self) -> int:
+        return len(self._by_terms)
+
+
+#: The process-global intern table used by ``Key(...)``.
+KEY_TABLE = KeyTable()
+
+
+class Key:
+    """An immutable, canonicalized, interned term combination."""
+
+    __slots__ = ("terms", "kid", "_hash", "_key_id", "_term_set",
+                 "_wire_size")
+
+    def __new__(cls, terms: Iterable[str]) -> "Key":
+        canonical: Tuple[str, ...] = tuple(sorted(set(terms)))
+        return KEY_TABLE.intern(canonical)
 
     # Immutability ------------------------------------------------------
 
     def __setattr__(self, name, value):
         raise AttributeError("Key is immutable")
 
+    def __reduce__(self):
+        # Re-intern on unpickle so value semantics (and identity within
+        # the receiving process) survive serialization.
+        return (Key, (self.terms,))
+
     # Value semantics ----------------------------------------------------
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True  # the common case: interning makes equals identical
         if not isinstance(other, Key):
             return NotImplemented
         return self.terms == other.terms
@@ -58,18 +118,31 @@ class Key:
 
     @property
     def key_id(self) -> int:
-        """Identifier of this key in the DHT id space."""
-        return hash_terms(self.terms)
+        """Identifier of this key in the DHT id space (cached SHA-1)."""
+        key_id: Optional[int] = self._key_id
+        if key_id is None:
+            key_id = hash_terms(self.terms)
+            object.__setattr__(self, "_key_id", key_id)
+        return key_id
 
     def wire_size(self) -> int:
-        """Bytes to encode the key in a message payload."""
-        return 4 + sum(2 + len(term.encode("utf-8")) for term in self.terms)
+        """Bytes to encode the key in a message payload (cached)."""
+        size = self._wire_size
+        if size is None:
+            size = 4 + sum(2 + len(term.encode("utf-8"))
+                           for term in self.terms)
+            object.__setattr__(self, "_wire_size", size)
+        return size
 
     # Set algebra ----------------------------------------------------------
 
     @property
     def term_set(self) -> FrozenSet[str]:
-        return frozenset(self.terms)
+        term_set = self._term_set
+        if term_set is None:
+            term_set = frozenset(self.terms)
+            object.__setattr__(self, "_term_set", term_set)
+        return term_set
 
     def contains(self, other: "Key") -> bool:
         """True if ``other``'s terms are a subset of this key's."""

@@ -48,7 +48,7 @@ from repro.ir.documents import Document
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
 from repro.net.transport import SimTransport, TransportBackend
-from repro.sim.events import Simulator
+from repro.sim.events import LegacyEventQueue, Simulator
 from repro.util.rng import make_rng
 
 __all__ = ["AlvisNetwork"]
@@ -65,22 +65,36 @@ class AlvisNetwork:
                  peer_ids: Optional[Sequence[int]] = None,
                  account_lookups: bool = True,
                  analyzer: Optional[Analyzer] = None,
-                 virtual_nodes: int = 1):
+                 virtual_nodes: int = 1,
+                 kernel_profile: str = "fast"):
         if num_peers <= 0:
             raise ValueError(f"num_peers must be positive, got {num_peers}")
         if virtual_nodes < 1:
             raise ValueError(
                 f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        if kernel_profile not in ("fast", "legacy"):
+            raise ValueError(
+                f"kernel_profile must be 'fast' or 'legacy', "
+                f"got {kernel_profile!r}")
         self.config = config if config is not None else AlvisConfig()
         self.seed = seed
         self.account_lookups = account_lookups
+        #: ``"fast"`` (default) runs the optimised event kernel and
+        #: churn-local lazy ring maintenance; ``"legacy"`` pins the
+        #: pre-optimisation kernel (dataclass events, eager full table
+        #: rebuilds) for A/B benchmarking.  Both profiles are
+        #: trace-equivalent — bench_scale asserts it.
+        self.kernel_profile = kernel_profile
         #: Virtual ring positions per peer (classic DHT load balancing:
         #: more positions -> each peer owns several small key ranges, so
         #: per-peer storage evens out).  Values > 1 are incompatible with
         #: churn/crash in this implementation (see :meth:`churn`).
         self.virtual_nodes = virtual_nodes
         self.analyzer = analyzer if analyzer is not None else Analyzer()
-        self.simulator = Simulator()
+        if kernel_profile == "legacy":
+            self.simulator = Simulator(queue=LegacyEventQueue())
+        else:
+            self.simulator = Simulator()
         self.transport = SimTransport(
             self.simulator,
             latency if latency is not None else ConstantLatency(0.02),
@@ -93,7 +107,8 @@ class AlvisNetwork:
                 self.config.service_reject_cost)
         self.ring = DHTRing(
             strategy if strategy is not None else HopSpaceFingers(),
-            self.transport)
+            self.transport,
+            lazy_tables=(kernel_profile != "legacy"))
         if peer_ids is None:
             peer_ids = uniform_ids(make_rng(seed, "peer-ids"), num_peers)
         elif len(set(peer_ids)) != num_peers:
@@ -103,7 +118,7 @@ class AlvisNetwork:
         self._virtual_to_peer: Dict[int, int] = {}
         for peer_id in peer_ids:
             self._add_peer(peer_id)
-        self.ring.rebuild_tables()
+        self.ring.maintain()
         self._doc_ids = itertools.count(1)
         self._doc_owner: Dict[int, int] = {}
         self.mode: Optional[str] = None
@@ -574,7 +589,7 @@ class AlvisNetwork:
             raise NotImplementedError(
                 "fail_peer is not supported with virtual_nodes > 1")
         self.ring.remove_node(peer_id)
-        self.ring.rebuild_tables()
+        self.ring.maintain()
         self.transport.unregister(peer_id)
         del self._peers[peer_id]
         self.note_index_update()

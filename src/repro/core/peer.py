@@ -15,7 +15,7 @@ protocol kinds of :mod:`repro.core.protocol`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core import protocol
 from repro.core.access import AccessControlError, AccessManager, AccessPolicy
@@ -58,25 +58,30 @@ class AlvisPeer:
         #: Replicas of other peers' entries (crash fault tolerance);
         #: promoted to ``fragment`` by ReplicationManager.repair().
         self.replica_store: Dict[Key, KeyEntry] = {}
-        self._handlers: Dict[str, Callable[[Message], Optional[Message]]] = {
-            protocol.LOOKUP_HOP: self._on_lookup_hop,
-            protocol.DF_PUBLISH: self._on_df_publish,
-            protocol.DF_GET: self._on_df_get,
-            protocol.COLLECTION_PUBLISH: self._on_collection_publish,
-            protocol.COLLECTION_GET: self._on_collection_get,
-            protocol.PUBLISH_KEY: self._on_publish_key,
-            protocol.EXPAND_NOTIFY: self._on_expand_notify,
-            protocol.PROBE_KEY: self._on_probe_key,
-            protocol.PROBE_BATCH: self._on_probe_batch,
-            protocol.FEEDBACK: self._on_feedback,
-            protocol.CONTRIBUTORS_GET: self._on_contributors_get,
-            protocol.HARVEST_KEY: self._on_harvest_key,
-            protocol.REFINE_QUERY: self._on_refine_query,
-            protocol.DOC_FETCH: self._on_doc_fetch,
-            protocol.RETRACT_DOC: self._on_retract_doc,
-            protocol.HANDOVER: self._on_handover,
-            "ReplicaPush": self._on_replica_push,
-        }
+
+    #: Class-level dispatch table (kind -> handler method name).  Shared
+    #: by every peer instead of a per-instance dict of bound methods —
+    #: at 100k peers the 17 bound-method entries per peer dominate the
+    #: per-peer footprint for otherwise-empty peers.
+    _HANDLER_NAMES: Dict[str, str] = {
+        protocol.LOOKUP_HOP: "_on_lookup_hop",
+        protocol.DF_PUBLISH: "_on_df_publish",
+        protocol.DF_GET: "_on_df_get",
+        protocol.COLLECTION_PUBLISH: "_on_collection_publish",
+        protocol.COLLECTION_GET: "_on_collection_get",
+        protocol.PUBLISH_KEY: "_on_publish_key",
+        protocol.EXPAND_NOTIFY: "_on_expand_notify",
+        protocol.PROBE_KEY: "_on_probe_key",
+        protocol.PROBE_BATCH: "_on_probe_batch",
+        protocol.FEEDBACK: "_on_feedback",
+        protocol.CONTRIBUTORS_GET: "_on_contributors_get",
+        protocol.HARVEST_KEY: "_on_harvest_key",
+        protocol.REFINE_QUERY: "_on_refine_query",
+        protocol.DOC_FETCH: "_on_doc_fetch",
+        protocol.RETRACT_DOC: "_on_retract_doc",
+        protocol.HANDOVER: "_on_handover",
+        "ReplicaPush": "_on_replica_push",
+    }
 
     # ------------------------------------------------------------------
     # Local document management (the "shared directory")
@@ -129,11 +134,11 @@ class AlvisPeer:
 
     def on_message(self, message: Message) -> Optional[Message]:
         """Transport entry point."""
-        handler = self._handlers.get(message.kind)
-        if handler is None:
+        name = self._HANDLER_NAMES.get(message.kind)
+        if name is None:
             raise ValueError(
                 f"peer {self.peer_id} cannot handle {message.kind!r}")
-        return handler(message)
+        return getattr(self, name)(message)
 
     # -- overlay ---------------------------------------------------------
 
@@ -247,13 +252,11 @@ class AlvisPeer:
         terms = list(message.payload["terms"])
         stats = (self.stats_cache.statistics()
                  if self.stats_cache.totals is not None else None)
-        scores: Dict[int, float] = {}
-        for doc_id in message.payload["doc_ids"]:
-            doc_id = int(doc_id)
-            if self.engine.store.get(doc_id) is None:
-                continue
-            scores[doc_id] = self.engine.score_document(doc_id, terms,
-                                                        stats=stats)
+        present = [doc_id for doc_id
+                   in (int(raw) for raw in message.payload["doc_ids"])
+                   if self.engine.store.get(doc_id) is not None]
+        values = self.engine.score_documents(present, terms, stats=stats)
+        scores: Dict[int, float] = dict(zip(present, values))
         return message.reply(protocol.REFINE_REPLY, {"scores": scores})
 
     def _on_doc_fetch(self, message: Message) -> Optional[Message]:

@@ -56,7 +56,7 @@ class ChurnProcess:
         # current successor of the new id; they must move to the newcomer.
         old_owner = self.ring.successor_of(node_id) if self.ring.size else None
         self.ring.add_node(node_id)
-        self.ring.rebuild_tables()
+        self.ring.maintain()
         if old_owner is not None and old_owner != node_id:
             predecessor = self.ring.predecessor_of(node_id)
             if self.on_handover is not None:
@@ -78,7 +78,7 @@ class ChurnProcess:
             raise KeyError(f"node {node_id} not in ring")
         predecessor = self.ring.predecessor_of(node_id)
         self.ring.remove_node(node_id)
-        self.ring.rebuild_tables()
+        self.ring.maintain()
         new_owner = self.ring.successor_of(node_id)
         if self.on_handover is not None:
             self.on_handover(node_id, new_owner, predecessor, node_id)

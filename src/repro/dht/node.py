@@ -16,24 +16,37 @@ class DHTNode:
     (fingers plus successors) that do not overshoot the target, pick the one
     closest to it.  With hop-space fingers this realizes the ~log2(n)-hop
     guarantee; with naive fingers it realizes classic Chord behaviour.
+
+    ``table_epoch`` tags the membership epoch the tables were last built
+    against; the ring uses it for churn-local lazy maintenance (a node's
+    tables are recomputed on first touch after a membership change
+    instead of eagerly for every node on every join/leave).
     """
 
     SUCCESSOR_LIST_SIZE = 4
+
+    __slots__ = ("node_id", "fingers", "successors", "table_epoch",
+                 "_neighbours")
 
     def __init__(self, node_id: int):
         self.node_id = node_id
         self.fingers: List[int] = []
         self.successors: List[int] = []
+        #: Membership epoch the tables were built at; -1 = never built.
+        self.table_epoch = -1
+        self._neighbours: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
 
     def set_fingers(self, fingers: Sequence[int]) -> None:
         """Install a freshly built finger list."""
         self.fingers = list(fingers)
+        self._neighbours = None
 
     def set_successors(self, successors: Sequence[int]) -> None:
         """Install the successor list (used for termination and repair)."""
         self.successors = list(successors[: self.SUCCESSOR_LIST_SIZE])
+        self._neighbours = None
 
     @property
     def successor(self) -> int:
@@ -43,14 +56,21 @@ class DHTNode:
         return self.successors[0]
 
     def neighbours(self) -> List[int]:
-        """All known out-links, successors first, without duplicates."""
-        seen = set()
-        result = []
-        for candidate in list(self.successors) + list(self.fingers):
-            if candidate != self.node_id and candidate not in seen:
-                seen.add(candidate)
-                result.append(candidate)
-        return result
+        """All known out-links, successors first, without duplicates.
+
+        Cached until the next ``set_fingers``/``set_successors`` — the
+        greedy next-hop scan reads it on every routed hop.
+        """
+        neighbours = self._neighbours
+        if neighbours is None:
+            seen = set()
+            neighbours = []
+            for candidate in self.successors + self.fingers:
+                if candidate != self.node_id and candidate not in seen:
+                    seen.add(candidate)
+                    neighbours.append(candidate)
+            self._neighbours = neighbours
+        return neighbours
 
     def routing_table_size(self) -> int:
         """Number of distinct out-links (the O(log n) claim of E7)."""
@@ -79,12 +99,13 @@ class DHTNode:
         """
         best: Optional[int] = None
         best_distance: Optional[int] = None
-        my_distance = clockwise_distance(self.node_id, key_id)
+        node_id = self.node_id
+        my_distance = clockwise_distance(node_id, key_id)
         for candidate in self.neighbours():
             candidate_distance = clockwise_distance(candidate, key_id)
             # A useful hop moves strictly closer to the key (clockwise)
             # without stepping past it.
-            forward = clockwise_distance(self.node_id, candidate)
+            forward = clockwise_distance(node_id, candidate)
             if forward == 0 or forward > my_distance:
                 continue
             if best_distance is None or candidate_distance < best_distance:

@@ -71,9 +71,19 @@ class DHTRing:
     """A set of :class:`DHTNode` objects plus routing orchestration."""
 
     def __init__(self, strategy: Optional[FingerTableStrategy] = None,
-                 transport: Optional[TransportBackend] = None):
+                 transport: Optional[TransportBackend] = None,
+                 lazy_tables: bool = True):
         self.strategy = strategy if strategy is not None else HopSpaceFingers()
         self.transport = transport
+        #: Churn-local maintenance: with ``lazy_tables`` a membership
+        #: change only *stamps* tables stale (via ``membership_epoch``)
+        #: and each node's fingers/successors are recomputed on first
+        #: touch — O(touched x log n) per churn event instead of the
+        #: O(n log n) full rebuild.  The resulting tables are identical
+        #: to an eager rebuild (both derive from current membership), so
+        #: routes and traffic do not change; ``lazy_tables=False``
+        #: restores the eager behaviour for A/B benchmarking.
+        self.lazy_tables = lazy_tables
         self._nodes: Dict[int, DHTNode] = {}
         self._sorted_ids: List[int] = []
         self._tables_dirty = True
@@ -96,8 +106,12 @@ class DHTRing:
         return tuple(self._sorted_ids)
 
     def node(self, node_id: int) -> DHTNode:
-        """Return the node object for ``node_id`` (KeyError if absent)."""
-        return self._nodes[node_id]
+        """Return the node object for ``node_id`` (KeyError if absent).
+
+        The node's routing tables are brought up to date first, so
+        callers always observe converged state.
+        """
+        return self._fresh(node_id)
 
     def contains(self, node_id: int) -> bool:
         """True if ``node_id`` is a live member."""
@@ -151,13 +165,16 @@ class DHTRing:
     # ------------------------------------------------------------------
 
     def rebuild_tables(self) -> None:
-        """(Re)build every node's fingers and successor list.
+        """(Re)build every node's fingers and successor list *eagerly*.
 
-        Models the converged state of the maintenance protocol; called
-        after batches of joins/leaves.
+        Models the converged state of the maintenance protocol in one
+        shot.  With ``lazy_tables`` this is never required — nodes
+        refresh on touch — but stays available for benchmarks and tests
+        that inspect the whole converged state at once.
         """
         members = self._sorted_ids
         n = len(members)
+        epoch = self.membership_epoch
         for rank, node_id in enumerate(members):
             node = self._nodes[node_id]
             node.set_fingers(self.strategy.build(node_id, members))
@@ -165,19 +182,64 @@ class DHTRing:
                           for offset in range(1, DHTNode.SUCCESSOR_LIST_SIZE + 1)
                           if n > 1]
             node.set_successors(successors)
+            node.table_epoch = epoch
         self._tables_dirty = False
 
-    def ensure_tables(self) -> None:
-        """Rebuild tables if membership changed since the last build."""
-        if self._tables_dirty:
+    def maintain(self) -> None:
+        """Converge routing state after a membership change.
+
+        The churn-local replacement for calling :meth:`rebuild_tables`
+        on every join/leave: with ``lazy_tables`` the membership bump
+        already stamped every table stale, so there is nothing to do —
+        each node recomputes its own fingers/successors from the current
+        membership on first touch.  Without laziness this falls back to
+        the eager full rebuild.
+        """
+        if not self.lazy_tables:
             self.rebuild_tables()
+
+    def ensure_tables(self) -> None:
+        """Make routing state consistent with the current membership.
+
+        Lazy mode needs no global work (stale nodes refresh on touch);
+        eager mode rebuilds if membership changed since the last build.
+        """
+        if self._tables_dirty and not self.lazy_tables:
+            self.rebuild_tables()
+
+    def _fresh(self, node_id: int) -> DHTNode:
+        """Return ``node_id``'s node with tables valid for the current
+        membership, recomputing them (lazily, churn-locally) if stale."""
+        node = self._nodes[node_id]
+        if node.table_epoch != self.membership_epoch:
+            self._refresh_node(node)
+        return node
+
+    def _refresh_node(self, node: DHTNode) -> None:
+        """Recompute one node's fingers/successors from current membership.
+
+        Produces exactly what :meth:`rebuild_tables` would install for
+        this node — both derive from the same sorted membership — so
+        lazy and eager maintenance yield identical routing state.
+        """
+        members = self._sorted_ids
+        n = len(members)
+        node.set_fingers(self.strategy.build(node.node_id, members))
+        if n > 1:
+            rank = bisect.bisect_left(members, node.node_id)
+            node.set_successors(
+                [members[(rank + offset) % n]
+                 for offset in range(1, DHTNode.SUCCESSOR_LIST_SIZE + 1)])
+        else:
+            node.set_successors([])
+        node.table_epoch = self.membership_epoch
 
     def mean_routing_table_size(self) -> float:
         """Average out-degree across nodes (E7 reports this is O(log n))."""
         if not self._nodes:
             raise ValueError("ring is empty")
-        total = sum(node.routing_table_size()
-                    for node in self._nodes.values())
+        total = sum(self._fresh(node_id).routing_table_size()
+                    for node_id in self._sorted_ids)
         return total / len(self._nodes)
 
     # ------------------------------------------------------------------
@@ -202,7 +264,7 @@ class DHTRing:
         hops = 0
         max_hops = 2 * ID_BITS + self.size
         while True:
-            node = self._nodes[current]
+            node = self._fresh(current)
             if node.owns(key_id, self.predecessor_of(current)):
                 return LookupResult(key_id=key_id, owner=current,
                                     hops=hops, path=path)
@@ -254,7 +316,7 @@ class DHTRing:
                     "inconsistent")
             next_frontier: Dict[int, List[int]] = {}
             for node_id in sorted(frontier):
-                node = self._nodes[node_id]
+                node = self._fresh(node_id)
                 predecessor = self.predecessor_of(node_id)
                 by_next: Dict[int, List[int]] = {}
                 for key_id in frontier[node_id]:
@@ -344,7 +406,8 @@ class DHTRing:
                     "inconsistent")
             hops: List[Tuple[int, int, List[int]]] = []
             for node_id in sorted(frontier):
-                node = self._nodes.get(node_id)
+                node = (self._fresh(node_id) if node_id in self._nodes
+                        else None)
                 if node is None:
                     # The routing node departed while keys were headed to
                     # it; restart from the source or fall back to the

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.eval.bandwidth import TrafficBreakdown, traffic_breakdown
 from repro.eval.reporting import format_table
+from repro.util.process import peak_rss_kb
 from repro.util.stats import gini_coefficient, summarize
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -69,6 +70,13 @@ class NetworkSnapshot:
     congestion_window_mean: float = 0.0
     congestion_window_min: float = 0.0
     congestion_window_decreases: int = 0
+    #: Kernel throughput and process memory (the scale-out metrics):
+    #: events executed by the simulator, wall-clock spent in its run
+    #: loops, the resulting events/sec, and peak resident set size.
+    events_processed: int = 0
+    kernel_wall_seconds: float = 0.0
+    events_per_sec: float = 0.0
+    peak_rss_kb: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -111,6 +119,10 @@ class NetworkSnapshot:
             "congestion_window_min": self.congestion_window_min,
             "congestion_window_decreases":
                 float(self.congestion_window_decreases),
+            "events_processed": float(self.events_processed),
+            "kernel_wall_seconds": self.kernel_wall_seconds,
+            "events_per_sec": self.events_per_sec,
+            "peak_rss_kb": float(self.peak_rss_kb),
         }
         flat.update({f"traffic_{name}": value
                      for name, value in self.traffic.as_dict().items()})
@@ -193,6 +205,10 @@ class NetworkMonitor:
             congestion_window_min=congestion["window_min"],
             congestion_window_decreases=int(
                 congestion["window_decreases"]),
+            events_processed=network.simulator.events_processed,
+            kernel_wall_seconds=network.simulator.wall_seconds,
+            events_per_sec=network.simulator.events_per_sec,
+            peak_rss_kb=peak_rss_kb(),
         )
         self.history.append(observed)
         return observed
@@ -259,6 +275,12 @@ class NetworkMonitor:
                 f"cwnd mean {snapshot.congestion_window_mean:.1f} / "
                 f"min {snapshot.congestion_window_min:.1f} "
                 f"({snapshot.congestion_window_decreases} decreases)")
+        if snapshot.events_processed:
+            lines.append(
+                f"kernel: {snapshot.events_processed:,} events in "
+                f"{snapshot.kernel_wall_seconds:.2f}s wall "
+                f"({snapshot.events_per_sec:,.0f} events/s); "
+                f"peak RSS {snapshot.peak_rss_kb:,} KB")
         if snapshot.cache_hits or snapshot.cache_misses:
             lines.append(
                 f"probe cache: {snapshot.cache_hits} hits / "

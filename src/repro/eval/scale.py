@@ -1,0 +1,154 @@
+"""Scale-sweep leg runner: one network size, one kernel profile.
+
+The scale-out benchmark (``benchmarks/bench_scale.py``) sweeps network
+sizes (1k -> 10k -> 100k peers) and compares the optimised kernel
+(``kernel_profile="fast"``) against the pre-optimisation one
+(``"legacy"``, typically combined with ``REPRO_PURE_PYTHON=1``).  Each
+leg runs in its own subprocess so peak RSS is attributable::
+
+    PYTHONPATH=src python -m repro.eval.scale \
+        --peers 10000 --queries 36 --churn 90 --profile legacy --json -
+
+A leg builds the network, runs the statistics phase and HDK index
+build, then drives a *churning query workload*: join/leave events
+interleaved with queries through the async runtime.  Churn is what
+separates the profiles asymptotically — the legacy ring rebuilds every
+node's tables on every membership change, the fast ring refreshes only
+the nodes a lookup actually touches.
+
+Reported per leg: wall-clock per phase, events processed, effective
+events/sec over the workload phase (wall-clock including table
+maintenance — the number the ``>= 5x`` acceptance gate checks),
+kernel-loop events/sec, bytes per query, peak RSS, and the exact
+top-k id/score fingerprint of every query (the two profiles must agree
+byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict
+
+from repro.core.config import AlvisConfig
+from repro.core.network import AlvisNetwork
+from repro.corpus.queries import QueryWorkload, QueryWorkloadConfig
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.util.npcompat import HAVE_NUMPY
+from repro.util.process import peak_rss_kb
+
+__all__ = ["run_leg", "main"]
+
+
+def run_leg(peers: int, documents: int = 240, queries: int = 36,
+            churn_events: int = 90, kernel_profile: str = "fast",
+            seed: int = 1234, mode: str = "hdk") -> Dict[str, Any]:
+    """Run one sweep leg and return its result record."""
+    leg_started = time.perf_counter()
+    corpus = SyntheticCorpus(SyntheticCorpusConfig(
+        num_documents=documents, vocabulary_size=1200, num_topics=8,
+        seed=seed))
+    workload = QueryWorkload.from_corpus(
+        corpus, QueryWorkloadConfig(pool_size=max(queries, 1),
+                                    min_terms=2, max_terms=3, seed=seed))
+    timings: Dict[str, float] = {}
+
+    started = time.perf_counter()
+    network = AlvisNetwork(num_peers=peers,
+                           config=AlvisConfig(async_queries=True),
+                           seed=seed, kernel_profile=kernel_profile)
+    network.distribute_documents(corpus.documents())
+    timings["build_s"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    network.build_index(mode=mode)
+    timings["index_s"] = time.perf_counter() - started
+
+    simulator = network.simulator
+    churn = network.churn()
+    events_before = simulator.events_processed
+    kernel_wall_before = simulator.wall_seconds
+    bytes_before = network.bytes_sent_total()
+    fingerprints = []
+    completed = 0
+
+    def _run_query(index: int) -> None:
+        jobs = network.run_queries(
+            [list(workload.pool[index % len(workload.pool)])],
+            arrival_rate=50.0)
+        fingerprints.append([[doc.doc_id, doc.score]
+                             for doc in jobs[0].results])
+
+    started = time.perf_counter()
+    for step in range(churn_events):
+        # Balanced churn: the membership oscillates around its initial
+        # size, and each event dirties every routing table.
+        if step % 2 == 0:
+            churn.join()
+        else:
+            churn.leave()
+        due = ((step + 1) * queries) // max(churn_events, 1)
+        while completed < due:
+            _run_query(completed)
+            completed += 1
+    while completed < queries:
+        _run_query(completed)
+        completed += 1
+    workload_wall = time.perf_counter() - started
+
+    events = simulator.events_processed - events_before
+    kernel_wall = simulator.wall_seconds - kernel_wall_before
+    return {
+        "peers": peers,
+        "documents": documents,
+        "queries": queries,
+        "churn_events": churn_events,
+        "kernel_profile": kernel_profile,
+        "numpy": HAVE_NUMPY,
+        "seed": seed,
+        "mode": mode,
+        "timings": dict(timings, workload_s=workload_wall),
+        "wall_clock_s": time.perf_counter() - leg_started,
+        "events_processed": events,
+        "events_per_sec": events / workload_wall if workload_wall else 0.0,
+        "kernel_events_per_sec": (events / kernel_wall
+                                  if kernel_wall else 0.0),
+        "bytes_per_query": ((network.bytes_sent_total() - bytes_before)
+                            / max(queries, 1)),
+        "peak_rss_kb": peak_rss_kb(),
+        "top_k": fingerprints,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run one scale-sweep leg (see benchmarks/"
+                    "bench_scale.py for the full sweep driver)")
+    parser.add_argument("--peers", type=int, required=True)
+    parser.add_argument("--documents", type=int, default=240)
+    parser.add_argument("--queries", type=int, default=36)
+    parser.add_argument("--churn", type=int, default=90)
+    parser.add_argument("--profile", choices=("fast", "legacy"),
+                        default="fast")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--mode", default="hdk")
+    parser.add_argument("--json", default="-",
+                        help="output path ('-' for stdout)")
+    args = parser.parse_args(argv)
+    leg = run_leg(peers=args.peers, documents=args.documents,
+                  queries=args.queries, churn_events=args.churn,
+                  kernel_profile=args.profile, seed=args.seed,
+                  mode=args.mode)
+    payload = json.dumps(leg, indent=2, sort_keys=True)
+    if args.json == "-":
+        print(payload)
+    else:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

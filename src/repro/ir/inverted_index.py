@@ -12,7 +12,9 @@ operations the distributed layers are built on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.util.npcompat import np
 
 __all__ = ["TermOccurrences", "InvertedIndex"]
 
@@ -38,6 +40,11 @@ class InvertedIndex:
         # Forward index (doc -> analyzed term sequence); costs memory but
         # makes proximity expansion O(window) instead of O(vocabulary).
         self._forward: Dict[int, Tuple[str, ...]] = {}
+        # Packed-array caches for the vectorized BM25 path (term ->
+        # parallel sorted (doc_ids, tfs) arrays; plus the doc-length
+        # arrays).  Invalidated wholesale on any index mutation.
+        self._packed: Dict[str, Tuple[Any, Any]] = {}
+        self._packed_lengths: Optional[Tuple[Any, Any]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -54,6 +61,7 @@ class InvertedIndex:
             positions_by_term.setdefault(term, []).append(position)
         for term, positions in positions_by_term.items():
             self._postings.setdefault(term, {})[doc_id] = tuple(positions)
+        self._invalidate_packed()
 
     def remove_document(self, doc_id: int) -> None:
         """Remove a document from every posting list it appears in."""
@@ -68,6 +76,12 @@ class InvertedIndex:
                 empty_terms.append(term)
         for term in empty_terms:
             del self._postings[term]
+        self._invalidate_packed()
+
+    def _invalidate_packed(self) -> None:
+        if self._packed:
+            self._packed.clear()
+        self._packed_lengths = None
 
     # ------------------------------------------------------------------
     # Statistics
@@ -114,6 +128,49 @@ class InvertedIndex:
             return 0
         positions = docs.get(doc_id)
         return len(positions) if positions else 0
+
+    # ------------------------------------------------------------------
+    # Packed arrays (vectorized BM25 support; requires numpy)
+    # ------------------------------------------------------------------
+
+    def packed_postings(self, term: str) -> Optional[Tuple[Any, Any]]:
+        """Parallel ``(doc_ids, tfs)`` int64 arrays for ``term``.
+
+        Document ids are sorted ascending, so lookups against arbitrary
+        id arrays are one ``searchsorted`` gather.  Cached until the
+        next index mutation; ``None`` when the term is absent (or numpy
+        is unavailable — callers use the scalar path then).
+        """
+        if np is None:
+            return None
+        cached = self._packed.get(term)
+        if cached is None:
+            docs = self._postings.get(term)
+            if not docs:
+                return None
+            count = len(docs)
+            doc_ids = np.fromiter(sorted(docs), dtype=np.int64,
+                                  count=count)
+            tfs = np.fromiter((len(docs[doc_id])
+                               for doc_id in doc_ids.tolist()),
+                              dtype=np.int64, count=count)
+            cached = (doc_ids, tfs)
+            self._packed[term] = cached
+        return cached
+
+    def packed_doc_lengths(self) -> Optional[Tuple[Any, Any]]:
+        """Parallel ``(doc_ids, lengths)`` int64 arrays over all docs."""
+        if np is None:
+            return None
+        if self._packed_lengths is None:
+            count = len(self._doc_lengths)
+            doc_ids = np.fromiter(sorted(self._doc_lengths),
+                                  dtype=np.int64, count=count)
+            lengths = np.fromiter((self._doc_lengths[doc_id]
+                                   for doc_id in doc_ids.tolist()),
+                                  dtype=np.int64, count=count)
+            self._packed_lengths = (doc_ids, lengths)
+        return self._packed_lengths
 
     # ------------------------------------------------------------------
     # Lookups

@@ -10,8 +10,9 @@ redundant for the query at hand.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["Posting", "PostingList", "POSTING_WIRE_BYTES"]
 
@@ -106,6 +107,34 @@ class PostingList:
             raise ValueError(f"k must be >= 0, got {k}")
         clone = PostingList(self.entries[:k], global_df=self.global_df)
         return clone
+
+    @staticmethod
+    def from_scores(doc_ids: Sequence[int], scores: Sequence[float],
+                    global_df: Optional[int] = None,
+                    limit: Optional[int] = None) -> "PostingList":
+        """Build a (possibly truncated) list from parallel id/score arrays.
+
+        The packed complement of building one :class:`Posting` per
+        candidate and calling :meth:`truncate`: with a ``limit``, only
+        the top entries by ``(-score, doc_id)`` are materialized as
+        ``Posting`` objects — the owner-side publish path scores every
+        matching document but ships ``k`` of them, so skipping the other
+        allocations is the win.  Accepts plain sequences or numpy
+        arrays; the result is identical to the build-all-then-truncate
+        construction.
+        """
+        count = len(doc_ids)
+        resolved_df = count if global_df is None else int(global_df)
+        if limit is not None and limit < count:
+            top = heapq.nsmallest(
+                limit, range(count),
+                key=lambda index: (-scores[index], doc_ids[index]))
+            entries = [Posting(int(doc_ids[index]), float(scores[index]))
+                       for index in top]
+        else:
+            entries = [Posting(int(doc_id), float(score))
+                       for doc_id, score in zip(doc_ids, scores)]
+        return PostingList(entries, global_df=resolved_df)
 
     def merge(self, other: "PostingList",
               limit: Optional[int] = None) -> "PostingList":

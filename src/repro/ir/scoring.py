@@ -13,10 +13,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence, Union
+from typing import Any, Callable, Mapping, Sequence, Union
+
+from repro.util.npcompat import np
 
 __all__ = ["BM25Parameters", "CollectionStatistics", "bm25_term_weight",
-           "bm25_weight_ceiling", "bm25_score", "tf_idf_score"]
+           "bm25_weight_ceiling", "bm25_score", "bm25_scores_packed",
+           "tf_idf_score"]
 
 
 @dataclass(frozen=True)
@@ -108,6 +111,60 @@ def bm25_score(query_terms: Sequence[str],
                                   stats.df(term), document_length,
                                   stats, params)
     return score
+
+
+def bm25_scores_packed(query_terms: Sequence[str],
+                       term_frequencies: Mapping[str, Any],
+                       document_lengths: Any,
+                       stats: CollectionStatistics,
+                       params: BM25Parameters = BM25Parameters()) -> Any:
+    """Vectorized :func:`bm25_score` over a batch of candidate documents.
+
+    ``term_frequencies`` maps each query term to an int array of that
+    term's tf in every candidate (aligned with ``document_lengths``).
+    Returns a float64 array of scores, **bitwise-identical** to calling
+    :func:`bm25_score` per candidate: the idf is computed with the same
+    scalar ``math.log``, the elementwise float64 arithmetic follows the
+    exact evaluation order of :func:`bm25_term_weight` (IEEE-754 ops are
+    deterministic), the per-document accumulation preserves the query
+    term order, and zero-weight terms are skipped (adding ``0.0`` to a
+    non-negative float is exact, so skipping equals adding).
+
+    Requires numpy; callers keep the scalar loop as the fallback.
+    """
+    if np is None:  # pragma: no cover - vectorized path requires numpy
+        raise RuntimeError("bm25_scores_packed requires numpy")
+    count = len(document_lengths)
+    scores = np.zeros(count, dtype=np.float64)
+    if count == 0:
+        return scores
+    n = max(stats.num_documents, 1)
+    avgdl = max(stats.average_document_length, 1e-9)
+    k1 = params.k1
+    # Same evaluation order as bm25_term_weight's ``normalizer``:
+    # k1 * ((1.0 - b) + (b * dl) / avgdl).
+    lengths = np.asarray(document_lengths, dtype=np.float64)
+    normalizer = k1 * ((1.0 - params.b) + (params.b * lengths) / avgdl)
+    k1_plus_1 = k1 + 1.0
+    for term in query_terms:
+        document_frequency = stats.df(term)
+        if document_frequency <= 0:
+            continue
+        tf = term_frequencies.get(term)
+        if tf is None:
+            continue
+        nonzero = np.nonzero(tf)[0]
+        if nonzero.size == 0:
+            continue
+        idf = math.log(1.0 + (n - document_frequency + 0.5)
+                       / (document_frequency + 0.5))
+        tf_nz = np.asarray(tf)[nonzero].astype(np.float64)
+        # Same order as bm25_term_weight: ((idf * tf) * (k1 + 1)) /
+        # (tf + normalizer).  Gathering only tf > 0 rows also keeps the
+        # k1 == 0 corner (0 / 0) out of the vector path entirely.
+        weights = (idf * tf_nz) * k1_plus_1 / (tf_nz + normalizer[nonzero])
+        scores[nonzero] += weights
+    return scores
 
 
 def tf_idf_score(query_terms: Sequence[str],

@@ -13,12 +13,14 @@ from typing import List, Optional, Sequence
 from repro.ir.analysis import Analyzer
 from repro.ir.documents import Document, DocumentStore
 from repro.ir.inverted_index import InvertedIndex
-from repro.ir.postings import Posting, PostingList
+from repro.ir.postings import PostingList
 from repro.ir.scoring import (
     BM25Parameters,
     CollectionStatistics,
     bm25_score,
+    bm25_scores_packed,
 )
+from repro.util.npcompat import np
 
 __all__ = ["SearchResult", "LocalSearchEngine"]
 
@@ -95,6 +97,46 @@ class LocalSearchEngine:
                           self.index.document_length(doc_id), stats,
                           self.bm25)
 
+    def score_documents(self, doc_ids: Sequence[int],
+                        terms: Sequence[str],
+                        stats: Optional[CollectionStatistics] = None
+                        ) -> List[float]:
+        """Bulk BM25: scores aligned with ``doc_ids``.
+
+        Vectorized over the index's packed posting arrays when numpy is
+        available, with results bitwise-identical to calling
+        :meth:`score_document` per document (asserted by tests); the
+        scalar loop is the always-available fallback.
+        """
+        if stats is None:
+            stats = self.local_statistics()
+        if np is None or len(doc_ids) < 2:
+            return [self.score_document(doc_id, terms, stats)
+                    for doc_id in doc_ids]
+        index = self.index
+        ids = np.asarray(doc_ids, dtype=np.int64)
+        all_ids, all_lengths = index.packed_doc_lengths()
+        position = np.searchsorted(all_ids, ids)
+        # Callers only pass indexed documents (score_document would
+        # KeyError otherwise), so the gather is exact.
+        lengths = all_lengths[position]
+        term_frequencies = {}
+        for term in terms:
+            if term in term_frequencies:
+                continue
+            packed = index.packed_postings(term)
+            if packed is None:
+                continue
+            term_ids, term_tfs = packed
+            slot = np.searchsorted(term_ids, ids)
+            slot_clipped = np.minimum(slot, len(term_ids) - 1)
+            tf = np.where(term_ids[slot_clipped] == ids,
+                          term_tfs[slot_clipped], 0)
+            term_frequencies[term] = tf
+        scores = bm25_scores_packed(terms, term_frequencies, lengths,
+                                    stats, self.bm25)
+        return scores.tolist()
+
     def top_k_for_key(self, terms: Sequence[str], k: int,
                       stats: Optional[CollectionStatistics] = None
                       ) -> PostingList:
@@ -107,11 +149,10 @@ class LocalSearchEngine:
         """
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
-        matching = self.index.documents_with_all(terms)
-        postings = [Posting(doc_id, self.score_document(doc_id, terms, stats))
-                    for doc_id in matching]
-        full = PostingList(postings, global_df=len(matching))
-        return full.truncate(k) if len(full) > k else full
+        matching = sorted(self.index.documents_with_all(terms))
+        scores = self.score_documents(matching, terms, stats)
+        return PostingList.from_scores(matching, scores,
+                                       global_df=len(matching), limit=k)
 
     # ------------------------------------------------------------------
     # Local querying (Layer 5 front end + two-step refinement)
@@ -133,15 +174,10 @@ class LocalSearchEngine:
         candidates = set()
         for term in terms:
             candidates |= self.index.documents_with_term(term)
-        scored = []
-        for doc_id in candidates:
-            term_frequencies = {term: self.index.term_frequency(term, doc_id)
-                                for term in terms}
-            score = bm25_score(terms, term_frequencies,
-                               self.index.document_length(doc_id), stats,
-                               self.bm25)
-            scored.append((score, doc_id))
-        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        ordered = sorted(candidates)
+        scores = self.score_documents(ordered, terms, stats)
+        scored = sorted(zip(scores, ordered),
+                        key=lambda pair: (-pair[0], pair[1]))
         results = []
         for score, doc_id in scored[:k]:
             document = self.store.get(doc_id)
@@ -168,12 +204,13 @@ class LocalSearchEngine:
         ranking_terms = list(dict.fromkeys(node.positive_terms()))
         if stats is None:
             stats = self.local_statistics()
-        scored = []
-        for doc_id in matching:
-            score = self.score_document(doc_id, ranking_terms, stats) \
-                if ranking_terms else 0.0
-            scored.append((score, doc_id))
-        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        ordered = sorted(matching)
+        if ranking_terms:
+            scores = self.score_documents(ordered, ranking_terms, stats)
+        else:
+            scores = [0.0] * len(ordered)
+        scored = sorted(zip(scores, ordered),
+                        key=lambda pair: (-pair[0], pair[1]))
         results = []
         for score, doc_id in scored[:k]:
             document = self.store.get(doc_id)

@@ -1,16 +1,36 @@
 """Event queue and simulator driver.
 
-A classic discrete-event loop: events are (time, sequence, callback) tuples
-ordered by time with a FIFO tiebreak, so same-timestamp events run in
-scheduling order and the simulation is fully deterministic.
+A classic discrete-event loop: events are (time, sequence, callback)
+entries ordered by time with a FIFO tiebreak, so same-timestamp events
+run in scheduling order and the simulation is fully deterministic.
+
+The kernel is the innermost loop of every benchmark, so the default
+:class:`Event`/:class:`EventQueue` pair is written for raw speed:
+
+* ``Event`` is a ``__slots__`` class with a hand-rolled ``__lt__`` over
+  the packed ``(time, sequence)`` pair — no dataclass tuple comparison,
+  no per-event ``__dict__``, no bound-method cancel hook.
+* Lazy deletion of cancelled events lives in exactly one place
+  (:meth:`EventQueue._purge_cancelled_head`), shared by ``pop`` and
+  ``peek_time``; cancel bookkeeping is a single back-pointer write.
+* ``push_many``/``pop_batch`` amortise heap maintenance for bulk
+  scheduling, and :class:`Simulator` runs a fast inlined loop (local
+  heap aliases, direct clock writes) when driving the default queue.
+
+The previous dataclass-based implementation is preserved verbatim as
+:class:`LegacyEvent`/:class:`LegacyEventQueue` so benchmarks can A/B the
+optimised kernel against the unoptimised one (``kernel_profile`` on
+:class:`repro.core.network.AlvisNetwork`).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, List, Optional, TYPE_CHECKING
+from typing import (Any, Callable, Generator, Iterable, List, Optional,
+                    Tuple, TYPE_CHECKING)
 
 from repro.sim.clock import VirtualClock
 from repro.sim.metrics import MetricsRegistry
@@ -18,12 +38,162 @@ from repro.sim.metrics import MetricsRegistry
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.procs import Proc
 
-__all__ = ["Event", "EventQueue", "Simulator"]
+__all__ = ["Event", "EventQueue", "Simulator",
+           "LegacyEvent", "LegacyEventQueue"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Ordering compares the packed ``(time, sequence)`` pair only; the
+    callback is excluded.  ``_queue`` is a back-pointer to the owning
+    queue while the event sits on its heap — it is how ``cancel``
+    maintains the queue's live counter in O(1) without a per-event
+    closure — and is cleared once the event pops (so cancelling an
+    already-executed event is a no-op that cannot corrupt the counter).
+    """
+
+    __slots__ = ("time", "sequence", "callback", "cancelled", "_queue")
+
+    def __init__(self, time: float, sequence: int,
+                 callback: Callable[[], None],
+                 queue: Optional["EventQueue"] = None):
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+        self._queue = queue
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence < other.sequence
+
+    def __le__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence <= other.sequence
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._live -= 1
+            self._queue = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return (f"Event(time={self.time!r}, sequence={self.sequence}, "
+                f"{state})")
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects.
+
+    Keeps a live non-cancelled counter so ``len``/``bool`` — called from
+    hot simulation loops — are O(1) instead of a full heap scan.
+    Cancelled events stay on the heap (lazy deletion) and are purged in
+    one shared code path when they reach the head.
+    """
+
+    def __init__(self):
+        self._heap: List[Event] = []
+        self._sequence = 0
+        self._live = 0
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at ``time`` and return its handle."""
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, sequence, callback, self)
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def push_many(self, entries: Iterable[Tuple[float, Callable[[], None]]]
+                  ) -> List[Event]:
+        """Bulk-schedule ``(time, callback)`` pairs; returns the handles.
+
+        Sequence numbers are assigned in iteration order, so same-time
+        entries keep FIFO semantics exactly as repeated ``push`` calls
+        would.  When the batch is large relative to the heap the whole
+        heap is re-heapified in O(n + k) instead of k * O(log n) pushes.
+        """
+        sequence = self._sequence
+        queue_ref = self
+        events = [Event(time, sequence + offset, callback, queue_ref)
+                  for offset, (time, callback) in enumerate(entries)]
+        self._sequence = sequence + len(events)
+        self._live += len(events)
+        heap = self._heap
+        if len(events) * 4 >= len(heap):
+            heap.extend(events)
+            heapq.heapify(heap)
+        else:
+            for event in events:
+                heapq.heappush(heap, event)
+        return events
+
+    def _purge_cancelled_head(self) -> None:
+        """Drop cancelled events from the heap head (the one lazy-deletion
+        path, shared by ``pop`` and ``peek_time``)."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` when empty."""
+        self._purge_cancelled_head()
+        heap = self._heap
+        if not heap:
+            return None
+        event = heapq.heappop(heap)
+        # Detach the queue back-pointer: cancelling an already-executed
+        # event must not corrupt the live counter.
+        event._queue = None
+        self._live -= 1
+        return event
+
+    def pop_batch(self, max_count: int) -> List[Event]:
+        """Pop up to ``max_count`` live events in time order."""
+        events: List[Event] = []
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap and len(events) < max_count:
+            event = heappop(heap)
+            if event.cancelled:
+                continue
+            event._queue = None
+            events.append(event)
+        self._live -= len(events)
+        return events
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the earliest pending event without popping."""
+        self._purge_cancelled_head()
+        heap = self._heap
+        if not heap:
+            return None
+        return heap[0].time
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+
+# ----------------------------------------------------------------------
+# Legacy kernel (pre-optimisation), kept for A/B benchmarking.
+# ----------------------------------------------------------------------
 
 
 @dataclass(order=True)
-class Event:
-    """A scheduled callback.
+class LegacyEvent:
+    """The pre-optimisation dataclass event (kept for A/B benchmarks).
 
     Ordering compares ``(time, sequence)`` only; the callback itself is
     excluded from comparison.
@@ -50,37 +220,42 @@ class Event:
             self._on_cancel = None
 
 
-class EventQueue:
-    """Min-heap of :class:`Event` objects.
+class LegacyEventQueue:
+    """The pre-optimisation event queue (kept for A/B benchmarks).
 
-    Keeps a live non-cancelled counter so ``len``/``bool`` — called from
-    hot simulation loops — are O(1) instead of a full heap scan.
+    Same public interface as :class:`EventQueue`; the simulator falls
+    back to its generic (method-dispatch) run loop when driving it, so
+    benchmarking against this queue measures the unoptimised kernel.
     """
 
     def __init__(self):
-        self._heap: List[Event] = []
+        self._heap: List[LegacyEvent] = []
         self._sequence = itertools.count()
         self._live = 0
 
-    def push(self, time: float, callback: Callable[[], None]) -> Event:
+    def push(self, time: float,
+             callback: Callable[[], None]) -> LegacyEvent:
         """Schedule ``callback`` at ``time`` and return its handle."""
-        event = Event(time=time, sequence=next(self._sequence),
-                      callback=callback)
+        event = LegacyEvent(time=time, sequence=next(self._sequence),
+                            callback=callback)
         event._on_cancel = self._note_cancel
         self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
+    def push_many(self, entries: Iterable[Tuple[float, Callable[[], None]]]
+                  ) -> List[LegacyEvent]:
+        """Bulk push (one heappush per entry — no batching here)."""
+        return [self.push(time, callback) for time, callback in entries]
+
     def _note_cancel(self) -> None:
         self._live -= 1
 
-    def pop(self) -> Optional[Event]:
+    def pop(self) -> Optional[LegacyEvent]:
         """Pop the earliest non-cancelled event, or ``None`` when empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
-                # Detach the cancel hook: cancelling an already-executed
-                # event must not corrupt the live counter.
                 event._on_cancel = None
                 self._live -= 1
                 return event
@@ -107,13 +282,22 @@ class Simulator:
     The simulator is intentionally tiny: components schedule callbacks via
     :meth:`schedule` / :meth:`schedule_at` and the experiment driver calls
     :meth:`run` (to exhaustion) or :meth:`run_until`.
+
+    When driving the default :class:`EventQueue` the run loops are
+    inlined over the raw heap (local ``heappop`` alias, direct clock
+    writes — heap order guarantees monotonic times); any other queue
+    (e.g. :class:`LegacyEventQueue`) goes through the generic
+    ``pop()``/``advance_to`` path.  Wall-clock time spent inside the run
+    loops is accumulated so ``events_per_sec`` reports kernel throughput.
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0,
+                 queue: Optional[Any] = None):
         self.clock = VirtualClock(start_time)
-        self.queue = EventQueue()
+        self.queue = queue if queue is not None else EventQueue()
         self.metrics = MetricsRegistry()
         self._events_processed = 0
+        self._wall_seconds = 0.0
 
     @property
     def now(self) -> float:
@@ -124,6 +308,18 @@ class Simulator:
     def events_processed(self) -> int:
         """Total number of events executed so far."""
         return self._events_processed
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds spent inside ``run``/``run_until`` loops."""
+        return self._wall_seconds
+
+    @property
+    def events_per_sec(self) -> float:
+        """Kernel throughput: events executed per wall-clock second."""
+        if self._wall_seconds <= 0.0:
+            return 0.0
+        return self._events_processed / self._wall_seconds
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` virtual seconds from now."""
@@ -154,15 +350,23 @@ class Simulator:
 
         Returns the number of events processed by this call.
         """
+        queue = self.queue
+        if type(queue) is EventQueue:
+            return self._run_fast(max_events, None)
+        started = _time.perf_counter()
         processed = 0
-        while max_events is None or processed < max_events:
-            event = self.queue.pop()
-            if event is None:
-                break
-            self.clock.advance_to(event.time)
-            event.callback()
-            processed += 1
-            self._events_processed += 1
+        clock = self.clock
+        try:
+            while max_events is None or processed < max_events:
+                event = queue.pop()
+                if event is None:
+                    break
+                clock.advance_to(event.time)
+                event.callback()
+                processed += 1
+        finally:
+            self._events_processed += processed
+            self._wall_seconds += _time.perf_counter() - started
         return processed
 
     def run_until(self, end_time: float) -> int:
@@ -170,17 +374,65 @@ class Simulator:
 
         Returns the number of events processed by this call.
         """
-        processed = 0
-        while True:
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > end_time:
-                break
-            event = self.queue.pop()
-            assert event is not None
-            self.clock.advance_to(event.time)
-            event.callback()
-            processed += 1
-            self._events_processed += 1
+        queue = self.queue
+        if type(queue) is EventQueue:
+            processed = self._run_fast(None, end_time)
+        else:
+            started = _time.perf_counter()
+            processed = 0
+            clock = self.clock
+            try:
+                while True:
+                    next_time = queue.peek_time()
+                    if next_time is None or next_time > end_time:
+                        break
+                    event = queue.pop()
+                    assert event is not None
+                    clock.advance_to(event.time)
+                    event.callback()
+                    processed += 1
+            finally:
+                self._events_processed += processed
+                self._wall_seconds += _time.perf_counter() - started
         if end_time > self.clock.now:
             self.clock.advance_to(end_time)
+        return processed
+
+    # ------------------------------------------------------------------
+
+    def _run_fast(self, max_events: Optional[int],
+                  end_time: Optional[float]) -> int:
+        """Inlined hot loop over the default queue's raw heap.
+
+        Pops are batched straight off the heap with a local ``heappop``
+        alias (no per-event method dispatch) and the clock is written
+        directly: heap order guarantees event times never decrease, so
+        the monotonicity check in ``advance_to`` is redundant here.
+        """
+        queue = self.queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        clock = self.clock
+        processed = 0
+        limit = max_events if max_events is not None else -1
+        started = _time.perf_counter()
+        try:
+            while heap:
+                if processed == limit:
+                    break
+                event = heap[0]
+                if event.cancelled:
+                    heappop(heap)
+                    continue
+                if end_time is not None and event.time > end_time:
+                    break
+                heappop(heap)
+                event._queue = None
+                queue._live -= 1
+                clock._now = event.time
+                event.callback()
+                processed += 1
+        finally:
+            self._events_processed += processed
+            self._wall_seconds += _time.perf_counter() - started
         return processed

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping
 
+from repro.util.process import peak_rss_kb
 from repro.util.stats import summarize
 
 __all__ = ["Counter", "Histogram", "MetricsRegistry"]
@@ -92,7 +93,15 @@ class MetricsRegistry:
         self._counters.clear()
         self._histograms.clear()
 
-    def snapshot(self) -> Dict[str, float]:
-        """A flat copy of every counter value (for experiment reports)."""
-        return {name: counter.value
+    def snapshot(self, include_process: bool = False) -> Dict[str, float]:
+        """A flat copy of every counter value (for experiment reports).
+
+        With ``include_process`` the snapshot additionally reports
+        ``process.peak_rss_kb`` — benchmark artifacts record memory
+        next to throughput.
+        """
+        flat = {name: counter.value
                 for name, counter in self._counters.items()}
+        if include_process:
+            flat["process.peak_rss_kb"] = float(peak_rss_kb())
+        return flat

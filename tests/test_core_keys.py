@@ -1,8 +1,10 @@
 """Tests for Key and the query-lattice structure."""
 
+import pickle
+
 import pytest
 
-from repro.core.keys import Key
+from repro.core.keys import KEY_TABLE, Key, KeyTable
 from repro.dht.hashing import hash_terms
 
 
@@ -45,6 +47,133 @@ class TestKeyConstruction:
 
     def test_wire_size_grows_with_terms(self):
         assert Key(["a", "b"]).wire_size() > Key(["a"]).wire_size()
+
+
+class TestKeyInterning:
+    def test_equal_keys_are_identical(self):
+        assert Key(["b", "a"]) is Key(["a", "b"])
+        assert Key(["a", "a", "b"]) is Key(["a", "b"])
+
+    def test_equality_hash_ordering_invariants(self):
+        # Interning must preserve value semantics exactly: equal keys
+        # hash equal, compare equal, and canonicalize to the same
+        # sorted term tuple regardless of input order.
+        permutations = [["x", "y", "z"], ["z", "y", "x"], ["y", "x", "z"]]
+        keys = [Key(terms) for terms in permutations]
+        assert len({id(key) for key in keys}) == 1
+        assert len({hash(key) for key in keys}) == 1
+        assert len(set(keys)) == 1
+        assert all(key.terms == ("x", "y", "z") for key in keys)
+        assert all(key.key_id == keys[0].key_id for key in keys)
+
+    def test_dense_kids_are_stable_and_distinct(self):
+        key_a = Key(["kid-test-a"])
+        key_b = Key(["kid-test-b"])
+        assert isinstance(key_a.kid, int)
+        assert key_a.kid != key_b.kid
+        assert Key(["kid-test-a"]).kid == key_a.kid
+
+    def test_key_id_cached_and_correct(self):
+        key = Key(["interned", "ids"])
+        first = key.key_id
+        assert first == hash_terms(key.terms)
+        assert key.key_id == first  # cached path
+
+    def test_wire_size_cached_and_correct(self):
+        key = Key(["wire", "size"])
+        expected = 4 + sum(2 + len(term.encode("utf-8"))
+                           for term in key.terms)
+        assert key.wire_size() == expected
+        assert key.wire_size() == expected
+
+    def test_pickle_round_trip_reinterns(self):
+        key = Key(["pickled", "key"])
+        clone = pickle.loads(pickle.dumps(key))
+        assert clone is key
+
+    def test_table_clear_keeps_old_keys_usable(self):
+        before = Key(["clear", "survivor"])
+        old_kid = before.kid
+        table = KeyTable()
+        canonical = ("clear", "survivor")
+        first = table.intern(canonical)
+        table.clear()
+        second = table.intern(canonical)
+        # Fresh instance after clear, but value semantics intact and kid
+        # numbering never recycles.
+        assert second is not first
+        assert second.terms == first.terms
+        assert hash(second) == hash(first)
+        assert second.kid != first.kid
+        # The global table is untouched by the scratch table above.
+        assert Key(["clear", "survivor"]) is before
+        assert before.kid == old_kid
+
+    def test_global_table_tracks_interned_count(self):
+        size = len(KEY_TABLE)
+        Key(["brand-new-term-for-count-test"])
+        assert len(KEY_TABLE) == size + 1
+        Key(["brand-new-term-for-count-test"])
+        assert len(KEY_TABLE) == size + 1
+
+    def test_validation_still_raised_through_table(self):
+        with pytest.raises(ValueError):
+            KeyTable().intern(())
+        with pytest.raises(ValueError):
+            KeyTable().intern(("a", ""))
+
+
+class TestKeyIdWireRoundTrip:
+    """Interned key-ids survive the UDP wire codec bit-exactly."""
+
+    def test_lookup_hop_key_id_round_trip(self):
+        from repro.core import protocol
+        from repro.net import wire
+        from repro.net.message import Message
+
+        key = Key(["wire", "trip"])
+        message = Message(src=1, dst=2, kind=protocol.LOOKUP_HOP,
+                          payload={"key_id": key.key_id})
+        decoded = wire.decode(wire.encode(message))
+        assert decoded.payload["key_id"] == key.key_id
+
+    def test_lookup_hop_batched_key_ids_round_trip(self):
+        from repro.core import protocol
+        from repro.net import wire
+        from repro.net.message import Message
+
+        keys = [Key(["alpha"]), Key(["alpha", "beta"]), Key(["gamma"])]
+        ids = [key.key_id for key in keys]
+        message = Message(src=3, dst=4, kind=protocol.LOOKUP_HOP,
+                          payload={"key_ids": ids})
+        decoded = wire.decode(wire.encode(message))
+        assert list(decoded.payload["key_ids"]) == ids
+        # Decoded ids map back onto the same interned keys.
+        by_id = {key.key_id: key for key in keys}
+        assert [by_id[key_id] for key_id in decoded.payload["key_ids"]] \
+            == keys
+
+
+class TestCacheKeyStability:
+    """Interned keys stay valid cache keys across churn invalidation."""
+
+    def test_hit_after_version_invalidation_with_fresh_key_object(self):
+        from repro.core.cache import LRUByteCache
+
+        cache = LRUByteCache(capacity_bytes=1024)
+        cache.ensure_version(("epoch-1", 0))
+        cache.put(Key(["cache", "stability"]), "payload", size=64)
+        hit, value = cache.get(Key(["stability", "cache"]))
+        assert hit and value == "payload"
+        # Churn: the version tag changes and the cache drops wholesale.
+        assert cache.ensure_version(("epoch-2", 0)) is True
+        hit, _ = cache.get(Key(["cache", "stability"]))
+        assert not hit
+        # Re-populating under a newly-spelled (but interned-equal) key
+        # serves later lookups spelled either way.
+        cache.put(Key(["stability", "cache"]), "fresh", size=64)
+        hit, value = cache.get(Key(["cache", "stability"]))
+        assert hit and value == "fresh"
 
 
 class TestKeyAlgebra:

@@ -111,3 +111,55 @@ class TestParallelProbeLatency:
         # accounting changes.
         assert results[True][1] == results[False][1]
         assert results[True][2] == results[False][2]
+
+
+class TestKernelMetrics:
+    """Peak RSS + events/sec surfaced by the monitor and registry."""
+
+    def _network(self):
+        network = AlvisNetwork(num_peers=6, seed=11,
+                               config=AlvisConfig(async_queries=True))
+        network.distribute_documents(sample_documents())
+        network.build_index(mode="hdk")
+        return network
+
+    def test_snapshot_reports_kernel_throughput(self):
+        network = self._network()
+        network.run_queries(["peer network", "index"], arrival_rate=50.0)
+        snapshot = NetworkMonitor(network).snapshot()
+        assert snapshot.events_processed == \
+            network.simulator.events_processed
+        assert snapshot.events_processed > 0
+        assert snapshot.kernel_wall_seconds > 0.0
+        assert snapshot.events_per_sec == pytest.approx(
+            snapshot.events_processed / snapshot.kernel_wall_seconds)
+        assert snapshot.peak_rss_kb > 0
+        flat = snapshot.as_dict()
+        for name in ("events_processed", "kernel_wall_seconds",
+                     "events_per_sec", "peak_rss_kb"):
+            assert name in flat
+
+    def test_render_includes_kernel_line(self):
+        network = self._network()
+        network.run_queries(["peer network"], arrival_rate=50.0)
+        dashboard = NetworkMonitor(network).render()
+        assert "events/s" in dashboard
+        assert "peak RSS" in dashboard
+
+    def test_metrics_registry_process_snapshot(self):
+        from repro.sim.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        registry.counter("a.b").increment(2)
+        plain = registry.snapshot()
+        assert plain == {"a.b": 2.0}
+        with_process = registry.snapshot(include_process=True)
+        assert with_process["a.b"] == 2.0
+        assert with_process["process.peak_rss_kb"] > 0
+
+    def test_peak_rss_monotonic(self):
+        from repro.util.process import peak_rss_kb
+        first = peak_rss_kb()
+        ballast = [0] * 500_000
+        second = peak_rss_kb()
+        assert second >= first > 0
+        del ballast

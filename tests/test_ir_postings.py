@@ -125,3 +125,50 @@ class TestMergeAndUnion:
         a.merge(b)
         assert a.doc_ids() == [1]
         assert b.doc_ids() == [2]
+
+
+class TestFromScores:
+    def _random_arrays(self, count, seed):
+        import random
+        rng = random.Random(seed)
+        doc_ids = rng.sample(range(10_000), count)
+        scores = [round(rng.uniform(0.0, 5.0), 3) for _ in range(count)]
+        # Inject score ties so the (-score, doc_id) tiebreak is exercised.
+        for index in range(0, count - 1, 7):
+            scores[index + 1] = scores[index]
+        return doc_ids, scores
+
+    def _reference(self, doc_ids, scores, global_df, limit):
+        full = PostingList(
+            [Posting(doc_id, score)
+             for doc_id, score in zip(doc_ids, scores)],
+            global_df=global_df)
+        return full if limit is None else full.truncate(limit)
+
+    def test_matches_build_all_then_truncate(self):
+        doc_ids, scores = self._random_arrays(40, seed=3)
+        for limit in (None, 0, 1, 5, 39, 40, 100):
+            got = PostingList.from_scores(doc_ids, scores,
+                                          global_df=len(doc_ids),
+                                          limit=limit)
+            want = self._reference(doc_ids, scores, len(doc_ids), limit)
+            assert got.entries == want.entries, f"limit={limit}"
+            assert got.global_df == want.global_df
+            assert got.truncated == want.truncated
+
+    def test_default_global_df_is_count(self):
+        built = PostingList.from_scores([5, 3], [1.0, 2.0])
+        assert built.global_df == 2
+        assert not built.truncated
+
+    def test_accepts_numpy_arrays(self):
+        from repro.util.npcompat import np
+        if np is None:
+            pytest.skip("numpy unavailable")
+        doc_ids, scores = self._random_arrays(20, seed=9)
+        got = PostingList.from_scores(np.asarray(doc_ids, dtype=np.int64),
+                                      np.asarray(scores), limit=5)
+        want = self._reference(doc_ids, scores, len(doc_ids), 5)
+        assert got.entries == want.entries
+        assert all(isinstance(p.doc_id, int) and isinstance(p.score, float)
+                   for p in got.entries)

@@ -217,3 +217,111 @@ class TestLocalSearchEngine:
         stats = engine.local_statistics()
         assert stats.num_documents == 4
         assert stats.df("peer") == 2
+
+
+def _engine_with_random_corpus(num_docs=60, seed=7, bm25=None):
+    import random
+    rng = random.Random(seed)
+    vocabulary = [f"term{i}" for i in range(30)]
+    engine = (LocalSearchEngine(Analyzer()) if bm25 is None
+              else LocalSearchEngine(Analyzer(), bm25=bm25))
+    for doc_id in range(1, num_docs + 1):
+        words = rng.choices(vocabulary, k=rng.randint(3, 40))
+        engine.add_document(Document(
+            doc_id=doc_id * 3, title=f"doc {doc_id}",
+            text=" ".join(words), url=f"test://{doc_id}", owner_peer=1))
+    return engine
+
+
+class TestVectorizedScoring:
+    """The packed/numpy scoring path must be bitwise-identical to the
+    scalar reference implementation — it is an acceleration, not a fork."""
+
+    def _assert_bulk_matches_scalar(self, engine, terms, stats=None):
+        doc_ids = sorted(engine.index.document_ids())
+        bulk = engine.score_documents(doc_ids, terms, stats=stats)
+        resolved = stats if stats is not None else engine.local_statistics()
+        scalar = [engine.score_document(doc_id, terms, stats=resolved)
+                  for doc_id in doc_ids]
+        assert bulk == scalar  # exact, not approx: bitwise equality
+
+    def test_bulk_matches_scalar_bitwise(self):
+        engine = _engine_with_random_corpus()
+        for terms in (["term0"], ["term1", "term2"],
+                      ["term3", "term3", "term4"],  # duplicate query term
+                      ["term5", "absent"], ["absent"]):
+            analyzed = [engine.analyzer.analyze(t)[0] if t != "absent"
+                        else "absent" for t in terms]
+            self._assert_bulk_matches_scalar(engine, analyzed)
+
+    def test_bulk_matches_scalar_parameter_corners(self):
+        # k1 == 0 divides 0/0 in a naive vectorization; b in {0, 1}
+        # exercises both ends of length normalization.
+        for params in (BM25Parameters(k1=0.0), BM25Parameters(b=0.0),
+                       BM25Parameters(b=1.0),
+                       BM25Parameters(k1=2.5, b=0.4)):
+            engine = _engine_with_random_corpus(bm25=params)
+            self._assert_bulk_matches_scalar(engine, ["term0", "term1"])
+
+    def test_bulk_matches_scalar_external_stats(self):
+        engine = _engine_with_random_corpus()
+        inflated = CollectionStatistics(
+            num_documents=100_000, average_document_length=12.5,
+            document_frequencies={"term0": 17, "term1": 40_000})
+        self._assert_bulk_matches_scalar(engine, ["term0", "term1"],
+                                         stats=inflated)
+
+    def test_packed_cache_invalidated_on_mutation(self):
+        engine = _engine_with_random_corpus(num_docs=20)
+        terms = ["term0", "term1"]
+        self._assert_bulk_matches_scalar(engine, terms)
+        engine.add_document(Document(
+            doc_id=999, title="new", text="term0 term0 term1",
+            url="test://new", owner_peer=1))
+        assert not engine.index._packed  # cache dropped on add
+        self._assert_bulk_matches_scalar(engine, terms)
+        engine.remove_document(999)
+        assert engine.index._packed_lengths is None
+        self._assert_bulk_matches_scalar(engine, terms)
+
+    def test_scalar_fallback_without_numpy(self, monkeypatch):
+        import repro.ir.search as search_module
+        engine = _engine_with_random_corpus(num_docs=25)
+        doc_ids = sorted(engine.index.document_ids())
+        with_numpy = engine.score_documents(doc_ids, ["term0", "term1"])
+        monkeypatch.setattr(search_module, "np", None)
+        without = engine.score_documents(doc_ids, ["term0", "term1"])
+        assert with_numpy == without
+
+    def test_pure_python_env_gate(self):
+        import subprocess
+        import sys
+        code = ("import repro.util.npcompat as c; "
+                "assert c.np is None and not c.HAVE_NUMPY")
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": "src", "REPRO_PURE_PYTHON": "1"},
+            cwd="/root/repo", capture_output=True, text=True)
+        assert result.returncode == 0, result.stderr
+
+    def test_refine_handler_bulk_matches_per_document(self):
+        # The REFINE_QUERY handler bulk-scores; its reply must match
+        # scoring each present document individually.
+        from repro.core.config import AlvisConfig
+        from repro.core.peer import AlvisPeer
+        from repro.core import protocol
+        from repro.net.message import Message
+        peer = AlvisPeer(1, AlvisConfig())
+        engine = _engine_with_random_corpus(num_docs=15)
+        peer.engine = engine
+        doc_ids = sorted(engine.index.document_ids()) + [424242]
+        message = Message(src=2, dst=1, kind=protocol.REFINE_QUERY,
+                          payload={"terms": ["term0", "term1"],
+                                   "doc_ids": doc_ids})
+        reply = peer.on_message(message)
+        scores = reply.payload["scores"]
+        assert 424242 not in scores
+        stats = engine.local_statistics()
+        for doc_id in engine.index.document_ids():
+            assert scores[doc_id] == engine.score_document(
+                doc_id, ["term0", "term1"], stats=stats)

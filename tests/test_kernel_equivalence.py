@@ -1,0 +1,131 @@
+"""Acceptance gate for the scale-out kernel optimisations.
+
+The rewritten event kernel (packed ``Event``/``EventQueue``), the lazy
+churn-local DHT table maintenance and the vectorized owner-side BM25 are
+*accelerations*: at seed sizes the optimized network must reproduce the
+pre-optimisation kernel byte-for-byte — same results, same scores, same
+per-kind traffic, same traces.  ``AlvisNetwork(kernel_profile="legacy")``
+pins the old behaviour (``LegacyEventQueue`` + eager table rebuilds), so
+these tests build one network per profile from identical seeds and
+compare everything the benchmarks measure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AlvisConfig
+from repro.core.network import AlvisNetwork
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.sim.events import EventQueue, LegacyEventQueue
+
+
+def _build_network(kernel_profile, corpus, config=None, num_peers=10,
+                   seed=2, mode="hdk"):
+    network = AlvisNetwork(num_peers=num_peers,
+                           config=config or AlvisConfig(),
+                           seed=seed, kernel_profile=kernel_profile)
+    network.distribute_documents(corpus.documents())
+    network.build_index(mode=mode)
+    return network
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(SyntheticCorpusConfig(
+        num_documents=120, vocabulary_size=800, num_topics=6, seed=3))
+
+
+@pytest.fixture(scope="module")
+def workload(corpus):
+    from repro.corpus.queries import QueryWorkload, QueryWorkloadConfig
+    return QueryWorkload.from_corpus(
+        corpus, QueryWorkloadConfig(pool_size=30, seed=5))
+
+
+def _trace_fingerprint(trace):
+    return {
+        "query": trace.query,
+        "bytes_sent": trace.bytes_sent,
+        "bytes_by_kind": dict(trace.bytes_by_kind),
+        "lookup_hops": trace.lookup_hops,
+        "probes": sorted((key.terms, status.name)
+                         for key, status in trace.probes),
+        "results": [(doc.doc_id, doc.score) for doc in trace.results],
+    }
+
+
+class TestKernelProfileEquivalence:
+    """fast vs legacy: byte/trace equality at seed sizes."""
+
+    def test_profiles_select_queue_and_ring_mode(self, corpus):
+        fast = _build_network("fast", corpus)
+        legacy = _build_network("legacy", corpus)
+        assert type(fast.simulator.queue) is EventQueue
+        assert type(legacy.simulator.queue) is LegacyEventQueue
+        assert fast.ring.lazy_tables
+        assert not legacy.ring.lazy_tables
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            AlvisNetwork(num_peers=2, seed=1, kernel_profile="turbo")
+
+    def test_index_build_identical(self, corpus):
+        fast = _build_network("fast", corpus)
+        legacy = _build_network("legacy", corpus)
+        assert fast.total_keys() == legacy.total_keys()
+        assert fast.per_peer_index_storage() == \
+            legacy.per_peer_index_storage()
+        assert fast.per_peer_postings() == legacy.per_peer_postings()
+        assert fast.bytes_sent_total() == legacy.bytes_sent_total()
+        assert fast.bytes_by_kind() == legacy.bytes_by_kind()
+
+    def test_query_traces_identical(self, corpus, workload):
+        fast = _build_network("fast", corpus)
+        legacy = _build_network("legacy", corpus)
+        origins = fast.peer_ids()
+        for index in range(12):
+            origin = origins[index % len(origins)]
+            terms = list(workload.pool[index])
+            fast_results, fast_trace = fast.query(origin, terms)
+            legacy_results, legacy_trace = legacy.query(origin, terms)
+            assert [(doc.doc_id, doc.score) for doc in fast_results] == \
+                [(doc.doc_id, doc.score) for doc in legacy_results]
+            assert _trace_fingerprint(fast_trace) == \
+                _trace_fingerprint(legacy_trace)
+        assert fast.bytes_sent_total() == legacy.bytes_sent_total()
+        assert fast.messages_sent_total() == legacy.messages_sent_total()
+
+    def test_async_runtime_jobs_identical(self, corpus, workload):
+        config = AlvisConfig(async_queries=True)
+        fast = _build_network("fast", corpus, config=config)
+        legacy = _build_network("legacy", corpus, config=config)
+        queries = [list(workload.pool[index]) for index in range(10)]
+        fast_jobs = fast.run_queries(queries, arrival_rate=200.0)
+        legacy_jobs = legacy.run_queries(queries, arrival_rate=200.0)
+        assert len(fast_jobs) == len(legacy_jobs)
+        for fast_job, legacy_job in zip(fast_jobs, legacy_jobs):
+            assert [(doc.doc_id, doc.score) for doc in fast_job.results] \
+                == [(doc.doc_id, doc.score) for doc in legacy_job.results]
+            assert _trace_fingerprint(fast_job.trace) == \
+                _trace_fingerprint(legacy_job.trace)
+        assert fast.simulator.now == legacy.simulator.now
+        assert fast.bytes_sent_total() == legacy.bytes_sent_total()
+
+    def test_churn_then_queries_identical(self, corpus, workload):
+        fast = _build_network("fast", corpus, num_peers=12)
+        legacy = _build_network("legacy", corpus, num_peers=12)
+        for network in (fast, legacy):
+            churn = network.churn()
+            churn.run_session(joins=4, leaves=4)
+        assert sorted(fast.peer_ids()) == sorted(legacy.peer_ids())
+        origins = sorted(fast.peer_ids())
+        for index in range(8):
+            origin = origins[index % len(origins)]
+            terms = list(workload.pool[index])
+            fast_results, fast_trace = fast.query(origin, terms)
+            legacy_results, legacy_trace = legacy.query(origin, terms)
+            assert _trace_fingerprint(fast_trace) == \
+                _trace_fingerprint(legacy_trace)
+            assert [(doc.doc_id, doc.score) for doc in fast_results] == \
+                [(doc.doc_id, doc.score) for doc in legacy_results]

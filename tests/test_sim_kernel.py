@@ -1,9 +1,11 @@
 """Tests for the simulation kernel (clock, events, metrics)."""
 
+import random
+
 import pytest
 
 from repro.sim.clock import VirtualClock
-from repro.sim.events import EventQueue, Simulator
+from repro.sim.events import (EventQueue, LegacyEventQueue, Simulator)
 from repro.sim.metrics import MetricsRegistry
 
 
@@ -128,6 +130,160 @@ class TestEventQueue:
         assert len(queue) == 1
 
 
+class TestPushMany:
+    def test_preserves_fifo_order_at_same_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("x"))
+        queue.push_many([(1.0, lambda label=label: order.append(label))
+                         for label in "abc"])
+        while queue:
+            queue.pop().callback()
+        assert order == ["x", "a", "b", "c"]
+
+    def test_interleaves_with_push(self):
+        queue = EventQueue()
+        handles = queue.push_many([(3.0, lambda: None), (1.0, lambda: None)])
+        single = queue.push(2.0, lambda: None)
+        assert len(queue) == 3
+        assert queue.pop() is handles[1]
+        assert queue.pop() is single
+        assert queue.pop() is handles[0]
+
+    def test_bulk_handles_cancellable(self):
+        queue = EventQueue()
+        handles = queue.push_many([(float(i), lambda: None)
+                                   for i in range(4)])
+        handles[0].cancel()
+        handles[2].cancel()
+        assert len(queue) == 2
+        assert queue.pop() is handles[1]
+        assert queue.pop() is handles[3]
+
+    def test_empty_batch(self):
+        queue = EventQueue()
+        assert queue.push_many([]) == []
+        assert len(queue) == 0
+
+    def test_large_batch_onto_small_heap(self):
+        # Exercises the heapify branch (batch >= heap size).
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        queue.push_many([(float(i), lambda: None) for i in (9, 1, 7, 3)])
+        times = []
+        while queue:
+            times.append(queue.pop().time)
+        assert times == [1.0, 3.0, 5.0, 7.0, 9.0]
+
+
+class TestPopBatch:
+    def test_pops_in_time_order_up_to_limit(self):
+        queue = EventQueue()
+        handles = [queue.push(float(i), lambda: None) for i in range(5)]
+        batch = queue.pop_batch(3)
+        assert batch == handles[:3]
+        assert len(queue) == 2
+
+    def test_skips_cancelled(self):
+        queue = EventQueue()
+        handles = [queue.push(float(i), lambda: None) for i in range(4)]
+        handles[0].cancel()
+        handles[2].cancel()
+        assert queue.pop_batch(10) == [handles[1], handles[3]]
+        assert len(queue) == 0
+
+
+class TestCancelStress:
+    """Interleaved cancel/push/pop/peek must keep the live counter and
+    delivery order exact (regression for the duplicated lazy-deletion
+    paths in ``pop``/``peek_time``)."""
+
+    def test_randomized_interleaving_matches_reference(self):
+        rng = random.Random(0xA1B2)
+        queue = EventQueue()
+        live = {}          # sequence -> event  (reference live set)
+        popped = []
+        for step in range(5000):
+            action = rng.random()
+            if action < 0.45 or not live:
+                time = round(rng.uniform(0.0, 100.0), 3)
+                if rng.random() < 0.2:
+                    events = queue.push_many(
+                        [(time + 0.001 * i, lambda: None)
+                         for i in range(rng.randint(1, 4))])
+                else:
+                    events = [queue.push(time, lambda: None)]
+                for event in events:
+                    live[event.sequence] = event
+            elif action < 0.70:
+                victim = live.pop(rng.choice(list(live)))
+                victim.cancel()
+                victim.cancel()  # double cancel must be a no-op
+            elif action < 0.90:
+                event = queue.pop()
+                if event is None:
+                    assert not live
+                else:
+                    expected = min(
+                        live.values(),
+                        key=lambda entry: (entry.time, entry.sequence))
+                    assert event is expected
+                    del live[event.sequence]
+                    popped.append(event)
+                    if rng.random() < 0.3:
+                        event.cancel()  # cancel-after-pop is a no-op
+            else:
+                peeked = queue.peek_time()
+                if live:
+                    assert peeked == min(
+                        (entry.time, entry.sequence)
+                        for entry in live.values())[0]
+                else:
+                    assert peeked is None
+            assert len(queue) == len(live)
+        # Drain: the survivors come out in exact (time, sequence) order.
+        remaining = sorted(live.values(),
+                           key=lambda entry: (entry.time, entry.sequence))
+        drained = []
+        while queue:
+            drained.append(queue.pop())
+        assert drained == remaining
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+        assert len(queue) == 0
+
+
+class TestLegacyEventQueue:
+    """The preserved pre-optimisation queue must behave identically."""
+
+    def test_same_semantics_as_fast_queue(self):
+        for queue in (EventQueue(), LegacyEventQueue()):
+            order = []
+            queue.push(2.0, lambda: order.append("b"))
+            first = queue.push(1.0, lambda: order.append("a"))
+            queue.push(3.0, lambda: order.append("c"))
+            first.cancel()
+            assert len(queue) == 2
+            assert queue.peek_time() == 2.0
+            while queue:
+                queue.pop().callback()
+            assert order == ["b", "c"]
+
+    def test_simulator_generic_loop_drives_legacy_queue(self):
+        sim = Simulator(queue=LegacyEventQueue())
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.schedule(0.5, lambda: fired.append(sim.now))
+        assert sim.run() == 2
+        assert fired == [0.5, 1.0]
+        assert sim.now == 1.0
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        assert sim.run_until(2.0) == 1
+        assert sim.now == 2.0
+        assert sim.events_processed == 3
+
+
 class TestSimulator:
     def test_run_to_exhaustion(self):
         sim = Simulator()
@@ -188,6 +344,37 @@ class TestSimulator:
         sim.schedule(0.2, lambda: None)
         sim.run()
         assert sim.events_processed == 2
+
+    def test_cancelled_events_skipped_by_fast_loop(self):
+        sim = Simulator()
+        fired = []
+        doomed = sim.schedule(0.5, lambda: fired.append("doomed"))
+        sim.schedule(1.0, lambda: fired.append("kept"))
+        doomed.cancel()
+        assert sim.run(max_events=5) == 1
+        assert fired == ["kept"]
+
+    def test_run_until_fast_loop_skips_cancelled_past_end(self):
+        sim = Simulator()
+        fired = []
+        early = sim.schedule(0.5, lambda: fired.append("early"))
+        sim.schedule(1.0, lambda: fired.append("mid"))
+        sim.schedule(5.0, lambda: fired.append("late"))
+        early.cancel()
+        assert sim.run_until(2.0) == 1
+        assert fired == ["mid"]
+        assert sim.now == 2.0
+
+    def test_wall_clock_throughput_counters(self):
+        sim = Simulator()
+        for index in range(100):
+            sim.schedule(float(index), lambda: None)
+        assert sim.wall_seconds == 0.0
+        assert sim.events_per_sec == 0.0
+        sim.run()
+        assert sim.wall_seconds > 0.0
+        assert sim.events_per_sec > 0.0
+        assert sim.events_processed == 100
 
 
 class TestMetricsRegistry:
