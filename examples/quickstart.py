@@ -227,6 +227,37 @@ def main() -> None:
           f"({snapshot.events_per_sec:,.0f}/s) on the §7 network, "
           f"peak RSS {snapshot.peak_rss_kb:,} KB")
 
+    # 10. Static analysis.  The invariants the sections above rely on —
+    #     byte-identical runs per seed (§1), a wire schema the UDP
+    #     cluster can decode (§8), slim hot-path objects (§9), feature
+    #     knobs that default off (§5-§7) — are enforced at review time
+    #     by the repo's own AST checkers::
+    #
+    #         PYTHONPATH=src python -m repro lint                # whole repo
+    #         PYTHONPATH=src python -m repro lint --list-codes   # rule table
+    #
+    #     Exit status 0 means the scan matches lint_baseline.json
+    #     exactly (this repo's baseline is empty: zero grandfathered
+    #     findings).  Here, the determinism checker catching a
+    #     wall-clock read that would break seed-reproducibility:
+    import tempfile
+    from pathlib import Path
+
+    from repro.lint import format_findings, run_lint
+
+    leaky = (
+        "import time\n"
+        "\n"
+        "def jitter():\n"
+        "    return time.time() % 1.0\n")
+    with tempfile.TemporaryDirectory() as scratch:
+        module = Path(scratch) / "src" / "repro" / "sim" / "leaky.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(leaky, encoding="utf-8")
+        findings = run_lint([module], project_root=Path(scratch))
+    print("\nrepro lint on a leaky module:")
+    print("  " + format_findings(findings).replace("\n", "\n  "))
+
 
 if __name__ == "__main__":
     main()

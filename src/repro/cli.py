@@ -23,6 +23,7 @@ from repro.corpus.loader import load_directory, sample_documents
 from repro.corpus.queries import QueryWorkload, QueryWorkloadConfig
 from repro.eval.monitor import NetworkMonitor
 from repro.eval.reporting import format_table
+from repro.lint.cli import add_lint_arguments, run_lint_command
 from repro.util.rng import make_rng
 
 __all__ = ["build_parser", "main"]
@@ -79,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help=argparse.SUPPRESS)
     cluster.add_argument("--spec", default=None,
                          help=argparse.SUPPRESS)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the repo's AST invariant checkers "
+                     "(determinism, wire-schema sync, layering, ...)")
+    add_lint_arguments(lint)
     return parser
 
 
@@ -211,6 +217,7 @@ _COMMANDS = {
     "query": _command_query,
     "monitor": _command_monitor,
     "cluster": _command_cluster,
+    "lint": run_lint_command,
 }
 
 

@@ -80,7 +80,7 @@ class AlvisPeer:
         protocol.DOC_FETCH: "_on_doc_fetch",
         protocol.RETRACT_DOC: "_on_retract_doc",
         protocol.HANDOVER: "_on_handover",
-        "ReplicaPush": "_on_replica_push",
+        protocol.REPLICA_PUSH: "_on_replica_push",
     }
 
     # ------------------------------------------------------------------

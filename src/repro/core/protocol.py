@@ -1,90 +1,13 @@
-"""Message kinds of the distributed IR protocol (layers 3 and 4).
+"""Compatibility shim: the protocol kinds live in :mod:`repro.net.protocol`.
 
-Centralizing the kind strings keeps the traffic accounting legible: the
-bandwidth benchmark (E2) reports bytes *per message kind*, which is how the
-companion papers break their numbers down (routing vs. retrieval vs.
-indexing traffic).
+The kind constants moved down to the ``net`` layer so the binary wire
+codec (:mod:`repro.net.wire`) can key its schemas on them without an
+upward import into ``core`` (the layering invariant ``repro lint``
+enforces as RPL050).  Every historical ``repro.core.protocol`` import
+keeps working through this re-export.
 """
 
 from __future__ import annotations
 
-__all__ = [
-    "LOOKUP_HOP",
-    "DF_PUBLISH",
-    "DF_GET",
-    "DF_REPLY",
-    "COLLECTION_PUBLISH",
-    "COLLECTION_GET",
-    "COLLECTION_REPLY",
-    "PUBLISH_KEY",
-    "PUBLISH_ACK",
-    "EXPAND_NOTIFY",
-    "PROBE_KEY",
-    "PROBE_REPLY",
-    "PROBE_BATCH",
-    "PROBE_BATCH_REPLY",
-    "FEEDBACK",
-    "CONTRIBUTORS_GET",
-    "CONTRIBUTORS_REPLY",
-    "HARVEST_KEY",
-    "HARVEST_REPLY",
-    "REFINE_QUERY",
-    "REFINE_REPLY",
-    "DOC_FETCH",
-    "DOC_REPLY",
-    "RETRACT_DOC",
-    "HANDOVER",
-    "INDEXING_KINDS",
-    "RETRIEVAL_KINDS",
-]
-
-# Overlay routing -------------------------------------------------------
-LOOKUP_HOP = "LookupHop"
-
-# Global statistics -----------------------------------------------------
-DF_PUBLISH = "DfPublish"            #: {term: local df} batch to term owners
-DF_GET = "DfGet"                    #: request global dfs for a term batch
-DF_REPLY = "DfReply"
-COLLECTION_PUBLISH = "CollectionPublish"  #: (num docs, total length)
-COLLECTION_GET = "CollectionGet"
-COLLECTION_REPLY = "CollectionReply"
-
-# Index construction ----------------------------------------------------
-PUBLISH_KEY = "PublishKey"          #: contributor -> responsible peer
-PUBLISH_ACK = "PublishAck"
-EXPAND_NOTIFY = "ExpandNotify"      #: responsible -> contributors (HDK)
-
-# Retrieval -------------------------------------------------------------
-PROBE_KEY = "ProbeKey"              #: lattice probe
-PROBE_REPLY = "ProbeReply"
-PROBE_BATCH = "ProbeBatch"          #: all of a frontier's probes for one owner
-PROBE_BATCH_REPLY = "ProbeBatchReply"
-FEEDBACK = "PopularityFeedback"     #: query peer -> key owners (QDI)
-
-# On-demand indexing (QDI) ----------------------------------------------
-CONTRIBUTORS_GET = "ContributorsGet"
-CONTRIBUTORS_REPLY = "ContributorsReply"
-HARVEST_KEY = "HarvestKey"
-HARVEST_REPLY = "HarvestReply"
-
-# Two-step refinement and document access -------------------------------
-REFINE_QUERY = "RefineQuery"
-REFINE_REPLY = "RefineReply"
-DOC_FETCH = "DocFetch"
-DOC_REPLY = "DocReply"
-
-# Document lifecycle ------------------------------------------------------
-RETRACT_DOC = "RetractDoc"          #: owner peer -> key peers, on unpublish
-
-# Churn -----------------------------------------------------------------
-HANDOVER = "IndexHandover"
-
-#: Kind groups used by the bandwidth breakdowns.
-INDEXING_KINDS = (DF_PUBLISH, DF_GET, DF_REPLY, COLLECTION_PUBLISH,
-                  COLLECTION_GET, COLLECTION_REPLY, PUBLISH_KEY,
-                  PUBLISH_ACK, EXPAND_NOTIFY, CONTRIBUTORS_GET,
-                  CONTRIBUTORS_REPLY, HARVEST_KEY, HARVEST_REPLY,
-                  RETRACT_DOC)
-RETRIEVAL_KINDS = (PROBE_KEY, PROBE_REPLY, PROBE_BATCH,
-                   PROBE_BATCH_REPLY, FEEDBACK, REFINE_QUERY,
-                   REFINE_REPLY, LOOKUP_HOP)
+from repro.net.protocol import *            # noqa: F401,F403
+from repro.net.protocol import __all__      # noqa: F401

@@ -35,8 +35,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["ReplicationManager"]
 
-#: Message kind for replica transfer (kept here: replication is optional).
-REPLICA_PUSH = "ReplicaPush"
+#: Message kind for replica transfer (re-exported for compatibility; the
+#: constant itself lives with the other kinds in repro.net.protocol so
+#: the handler table in AlvisPeer and this module share one definition).
+REPLICA_PUSH = protocol.REPLICA_PUSH
 
 
 class ReplicationManager:

@@ -1,0 +1,73 @@
+"""The committed baseline of grandfathered findings.
+
+The baseline stores finding *fingerprints* — ``(path, code, symbol)``
+with a count — never line numbers, so unrelated edits to a file do not
+churn it.  The tier-1 gate (``tests/test_lint_repo.py``) asserts the
+baseline is *exact*: no finding outside it (regressions fail the build)
+and no stale entry in it (fixed findings must be removed, keeping the
+grandfathered debt monotonically shrinking).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.findings import Finding, fingerprint
+
+__all__ = ["Baseline", "load_baseline", "write_baseline",
+           "compare_with_baseline"]
+
+_VERSION = 1
+
+#: fingerprint -> allowed count
+Baseline = Dict[Tuple[str, str, str], int]
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file (empty baseline when the file is missing)."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}")
+    baseline: Baseline = {}
+    for entry in data.get("findings", []):
+        key = (entry["path"], entry["code"], entry["symbol"])
+        baseline[key] = baseline.get(key, 0) + int(entry.get("count", 1))
+    return baseline
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write the baseline capturing exactly ``findings``."""
+    counts = Counter(fingerprint(f) for f in findings)
+    entries = [{"path": p, "code": c, "symbol": s, "count": n}
+               for (p, c, s), n in sorted(counts.items())]
+    path.write_text(
+        json.dumps({"version": _VERSION, "findings": entries}, indent=2)
+        + "\n",
+        encoding="utf-8")
+
+
+def compare_with_baseline(findings: Iterable[Finding], baseline: Baseline
+                          ) -> Tuple[List[Finding],
+                                     List[Tuple[str, str, str]]]:
+    """Split into (new findings, stale baseline fingerprints).
+
+    A finding matching a baseline fingerprint consumes one unit of its
+    count; surplus findings are new, surplus baseline counts are stale.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    for finding in sorted(findings):
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in remaining.items()
+                   for _ in range(count))
+    return new, stale

@@ -1,0 +1,18 @@
+"""The checker registry (one module per invariant)."""
+
+from repro.lint.checkers import (config_defaults, determinism, hotpath,
+                                 layering, proc_purity, wire_schema)
+
+#: Every checker, in documentation order.  Each module exposes
+#: ``NAME`` (the checker's suppression/docs name) and ``check(project)``
+#: yielding findings.
+CHECKERS = (
+    determinism,
+    proc_purity,
+    wire_schema,
+    hotpath,
+    layering,
+    config_defaults,
+)
+
+__all__ = ["CHECKERS"]

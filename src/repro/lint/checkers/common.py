@@ -1,0 +1,124 @@
+"""Shared AST utilities: import-alias tracking and name resolution.
+
+The checkers care about *which library object* a call reaches, not how
+the module spells it — ``import time as _time; _time.perf_counter()``
+and ``from time import perf_counter; perf_counter()`` are the same
+wall-clock read.  :class:`ImportMap` resolves both spellings back to the
+canonical dotted name (``"time.perf_counter"``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["ImportMap", "dotted_name", "resolve_str_node",
+           "module_constants", "walk_skipping_type_checking"]
+
+
+class ImportMap:
+    """Canonical dotted names for a module's imported bindings."""
+
+    def __init__(self, tree: ast.Module):
+        #: local name -> canonical module or attribute path
+        self.bindings: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds
+                    # the full path to c.
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.bindings[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module is not None:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.bindings[local] = f"{node.module}.{alias.name}"
+
+    def resolve_call(self, func: ast.expr) -> Optional[str]:
+        """Canonical dotted name of a call target, if resolvable.
+
+        ``Name`` nodes resolve through the import bindings; attribute
+        chains resolve their base name and append the attribute path.
+        Unresolvable bases (locals, self, call results) return ``None``.
+        """
+        parts = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.bindings.get(node.id)
+        if base is None:
+            if parts:
+                return None           # attribute on an unknown local
+            return node.id            # bare builtin-style name
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` attribute/name chain as a string, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_str_node(node: ast.expr,
+                     constants: Dict[str, str]) -> Optional[str]:
+    """String value of a literal, ``NAME`` or ``mod.NAME`` expression."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return constants.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return constants.get(node.attr)
+    return None
+
+
+def module_constants(tree: ast.Module) -> Dict[str, str]:
+    """Top-level ``NAME = "literal"`` string assignments of a module."""
+    constants: Dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, str):
+            constants[node.targets[0].id] = node.value.value
+    return constants
+
+
+def walk_skipping_type_checking(tree: ast.AST
+                                ) -> Iterator[Tuple[ast.AST, bool]]:
+    """Yield ``(node, in_function)`` skipping ``if TYPE_CHECKING:`` bodies.
+
+    Annotation-only imports create no runtime dependency, so the
+    layering checker ignores them; ``in_function`` lets callers treat
+    lazy function-local imports differently if they ever need to.
+    """
+    def visit(node: ast.AST, in_function: bool
+              ) -> Iterator[Tuple[ast.AST, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.If):
+                test_name = dotted_name(child.test)
+                if test_name in ("TYPE_CHECKING", "typing.TYPE_CHECKING"):
+                    for orelse in child.orelse:
+                        yield orelse, in_function
+                        yield from visit(orelse, in_function)
+                    continue
+            nested = in_function or isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            yield child, nested
+            yield from visit(child, nested)
+
+    yield from visit(tree, False)

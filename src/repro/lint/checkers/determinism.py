@@ -1,0 +1,117 @@
+"""RPL01x — determinism: no ambient state in sim-reachable modules.
+
+The simulator's contract — byte-identical traces for one seed, pinned by
+the kernel-equivalence and cross-backend tests — only holds if nothing
+on a sim-reachable path reads a wall clock, the process environment or a
+global/unseeded RNG.  Annotations like ``rng: random.Random`` and seeded
+constructions like ``random.Random(0)`` are fine; the checker flags
+*calls* that reach nondeterministic state, not mentions of the modules.
+
+Scope: ``sim/``, ``core/``, ``dht/``, ``ir/`` and ``net/`` inside the
+repro package, with an explicit allowlist for the real-time edges that
+*must* touch wall clocks and sockets (``net/udp.py``, ``cluster/``,
+``util/process.py`` — the latter two fall outside the scope prefixes
+anyway, but are listed for documentation value).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.checkers.common import ImportMap
+from repro.lint.findings import Finding
+from repro.lint.source import Project, SourceFile
+
+NAME = "determinism"
+
+#: Module prefixes (relative to the repro package) the rules apply to.
+SCOPE_PREFIXES = ("sim/", "core/", "dht/", "ir/", "net/")
+
+#: Carve-outs: real-time / process-boundary modules.
+ALLOWLIST_PREFIXES = ("net/udp.py", "cluster/", "util/process.py")
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_GLOBAL_RNG_CALLS = frozenset(
+    {f"random.{fn}" for fn in (
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "normalvariate", "lognormvariate",
+        "expovariate", "betavariate", "gammavariate", "triangular",
+        "vonmisesvariate", "paretovariate", "weibullvariate", "seed",
+        "getrandbits", "randbytes")}
+    | {"os.urandom", "uuid.uuid1", "uuid.uuid4",
+       "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+       "secrets.randbelow", "secrets.randbits", "secrets.choice"})
+
+_ENV_CALLS = frozenset({"os.getenv", "os.putenv", "os.environ.get"})
+
+
+def in_scope(source: SourceFile) -> bool:
+    rel = source.repro_rel
+    if rel is None:
+        return False
+    if any(rel.startswith(prefix) for prefix in ALLOWLIST_PREFIXES):
+        return False
+    return any(rel.startswith(prefix) for prefix in SCOPE_PREFIXES)
+
+
+def check(project: Project) -> Iterator[Finding]:
+    for source in project.files:
+        if in_scope(source):
+            yield from _check_file(source)
+
+
+def _check_file(source: SourceFile) -> Iterator[Finding]:
+    imports = ImportMap(source.tree)
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call):
+            yield from _check_call(source, imports, node)
+        elif isinstance(node, ast.Attribute):
+            # os.environ reads are attribute uses, not only calls
+            # (subscripts, `in` tests, dict(os.environ) ...).
+            name = imports.resolve_call(node)
+            if name in ("os.environ", "os.environb"):
+                yield _finding(source, node, "RPL012", name,
+                               f"environment read ({name}) in a "
+                               f"sim-reachable module")
+
+
+def _check_call(source: SourceFile, imports: ImportMap,
+                node: ast.Call) -> Iterator[Finding]:
+    name = imports.resolve_call(node.func)
+    if name is None:
+        return
+    if name in _WALL_CLOCK_CALLS:
+        yield _finding(
+            source, node, "RPL010", name,
+            f"wall-clock read {name}() in a sim-reachable module "
+            f"(virtual time comes from the sim clock)")
+    elif name in _GLOBAL_RNG_CALLS:
+        yield _finding(
+            source, node, "RPL011", name,
+            f"global RNG call {name}() (route randomness through a "
+            f"seeded random.Random stream; see util/rng.py)")
+    elif name == "random.Random" and not node.args \
+            and not any(kw.arg in (None, "x") for kw in node.keywords):
+        yield _finding(
+            source, node, "RPL011", "random.Random()",
+            "unseeded random.Random() (pass an explicit seed so runs "
+            "reproduce)")
+    elif name in _ENV_CALLS:
+        yield _finding(
+            source, node, "RPL012", name,
+            f"environment read {name}() in a sim-reachable module")
+
+
+def _finding(source: SourceFile, node: ast.AST, code: str, symbol: str,
+             message: str) -> Finding:
+    return Finding(path=source.rel, line=node.lineno,
+                   col=node.col_offset, code=code, symbol=symbol,
+                   message=message)

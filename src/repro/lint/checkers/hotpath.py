@@ -1,0 +1,100 @@
+"""RPL04x — hot-path hygiene for the 100k-peer scale target.
+
+PR 7 bought the scale-out kernel its headroom largely through
+``__slots__`` on the objects allocated per event / per peer / per key.
+A slotless class slipping back into one of those modules silently costs
+~3x the memory at 100k peers, so the hot modules are pinned here
+(RPL040).  RPL041 catches the related regression of building a
+per-instance ``{kind: bound method}`` dict in ``__init__`` — the table
+belongs at class level with ``getattr`` dispatch, or every instance
+pays for it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.source import Project, SourceFile
+
+NAME = "hot-path"
+
+#: Modules (relative to the repro package) allocated on the per-event /
+#: per-peer / per-key hot paths at 100k-peer scale.
+HOT_MODULES = ("sim/events.py", "dht/node.py", "core/keys.py")
+
+#: Class-name suffixes exempt from the slots rule — exception types are
+#: raised, not held in bulk.
+_EXEMPT_SUFFIXES = ("Error", "Exception", "Warning")
+
+
+def check(project: Project) -> Iterator[Finding]:
+    for source in project.files:
+        if source.repro_rel in HOT_MODULES:
+            yield from _check_slots(source)
+        yield from _check_handler_dicts(source)
+
+
+def _check_slots(source: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name.endswith(_EXEMPT_SUFFIXES):
+            continue
+        if _has_slots(node):
+            continue
+        yield Finding(
+            path=source.rel, line=node.lineno, col=node.col_offset,
+            code="RPL040", symbol=node.name,
+            message=(f"class {node.name} in hot module "
+                     f"{source.repro_rel} has no __slots__ — instance "
+                     f"dicts dominate memory at 100k-peer scale"))
+
+
+def _has_slots(node: ast.ClassDef) -> bool:
+    for child in node.body:
+        if isinstance(child, ast.Assign):
+            for target in child.targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == "__slots__":
+                    return True
+        elif isinstance(child, ast.AnnAssign) \
+                and isinstance(child.target, ast.Name) \
+                and child.target.id == "__slots__":
+            return True
+    return False
+
+
+def _check_handler_dicts(source: SourceFile) -> Iterator[Finding]:
+    """``self.x = {...: self.method, ...}`` inside a method (RPL041)."""
+    for func in ast.walk(source.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Dict):
+                continue
+            if not any(_is_self_attribute(t) for t in node.targets):
+                continue
+            values = node.value.values
+            if len(values) >= 2 and all(_is_self_attribute(v)
+                                        for v in values):
+                target = next(t for t in node.targets
+                              if _is_self_attribute(t))
+                yield Finding(
+                    path=source.rel, line=node.lineno,
+                    col=node.col_offset, code="RPL041",
+                    symbol=f"{func.name}:{target.attr}",
+                    message=(f"per-instance bound-method dict "
+                             f"self.{target.attr} built in "
+                             f"{func.name}() — hoist the table to "
+                             f"class level (name strings + getattr) so "
+                             f"instances stay slim"))
+
+
+def _is_self_attribute(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self")

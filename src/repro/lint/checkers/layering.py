@@ -1,0 +1,122 @@
+"""RPL05x — layering: the repro package imports form a DAG.
+
+The layer order (low to high) and the one deliberate deviation from the
+"net above dht/ir" intuition:
+
+    util < sim < ir < net < dht < core < corpus/lint
+         < baselines/eval/cluster < cli < __main__
+
+``ir`` sits *below* ``net`` because the wire codec serializes
+``PostingList`` values — the codec depends on the data model, never the
+reverse.  ``dht`` sits below ``core`` (peers own their routing state),
+and ``lint`` is a leaf consumer like ``corpus``.
+
+A module may import (a) any strictly lower layer, or (b) its own
+segment.  Anything else is an upward edge (RPL050); a module whose
+segment is missing from the table entirely is RPL051, so new
+subpackages must take a position in the order rather than float outside
+it.  ``if TYPE_CHECKING:`` imports are annotation-only and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.checkers.common import walk_skipping_type_checking
+from repro.lint.findings import Finding
+from repro.lint.source import Project, SourceFile
+
+NAME = "layering"
+
+#: Segment (first path component under ``repro/``) -> rank.  Lower ranks
+#: must not import higher ones.
+LAYER_RANKS = {
+    "util": 0,
+    "sim": 1,
+    "ir": 2,
+    "net": 3,
+    "dht": 4,
+    "core": 5,
+    "corpus": 6,
+    "lint": 6,
+    "baselines": 7,
+    "eval": 7,
+    "cluster": 7,
+    "cli": 8,
+    "__main__": 9,
+    "__init__": 9,
+}
+
+
+def segment_of(repro_rel: str) -> str:
+    """Layer segment of a repro-relative path (``dht/node.py`` -> ``dht``)."""
+    head = repro_rel.split("/", 1)[0]
+    if head.endswith(".py"):
+        head = head[:-3]
+    return head
+
+
+def check(project: Project) -> Iterator[Finding]:
+    for source in project.files:
+        if source.repro_rel is None:
+            continue
+        yield from _check_file(source)
+
+
+def _check_file(source: SourceFile) -> Iterator[Finding]:
+    own_segment = segment_of(source.repro_rel)
+    own_rank = LAYER_RANKS.get(own_segment)
+    if own_rank is None:
+        yield Finding(
+            path=source.rel, line=1, col=0, code="RPL051",
+            symbol=own_segment,
+            message=(f"module segment {own_segment!r} has no rank in "
+                     f"the layer table "
+                     f"(repro.lint.checkers.layering.LAYER_RANKS) — "
+                     f"place new subpackages in the import order"))
+        return
+    for node, _in_function in walk_skipping_type_checking(source.tree):
+        target = _import_segment(node)
+        if target is None:
+            continue
+        if target == own_segment:
+            continue
+        target_rank = LAYER_RANKS.get(target)
+        if target_rank is None:
+            yield Finding(
+                path=source.rel, line=node.lineno, col=node.col_offset,
+                code="RPL051", symbol=target,
+                message=(f"import of repro.{target} — segment has no "
+                         f"rank in the layer table"))
+        elif target_rank >= own_rank:
+            yield Finding(
+                path=source.rel, line=node.lineno, col=node.col_offset,
+                code="RPL050", symbol=f"{own_segment}->{target}",
+                message=(f"upward import: {own_segment} (rank "
+                         f"{own_rank}) imports repro.{target} (rank "
+                         f"{target_rank}); the layer DAG flows "
+                         f"util < sim < ir < net < dht < core < ... "
+                         f"< cli"))
+
+
+def _import_segment(node: ast.AST) -> Optional[str]:
+    """The repro segment an import statement reaches, if any."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == "repro":
+                return parts[1] if len(parts) > 1 else "__init__"
+    elif isinstance(node, ast.ImportFrom) and node.module is not None \
+            and node.level == 0:
+        parts = node.module.split(".")
+        if parts[0] == "repro":
+            if len(parts) > 1:
+                return parts[1]
+            # `from repro import X` — X is the segment (subpackage) or
+            # a top-level re-export; treat named subpackages as edges.
+            for alias in node.names:
+                if alias.name in LAYER_RANKS:
+                    return alias.name
+            return "__init__"
+    return None

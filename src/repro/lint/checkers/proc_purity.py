@@ -1,0 +1,189 @@
+"""RPL02x — proc purity: event-kernel generators never block.
+
+A proc (:mod:`repro.sim.procs`) is a generator the single-threaded
+kernel steps; one ``time.sleep`` or socket read inside it stalls every
+peer in the simulation, and a yield of anything but a number, ``None``,
+``Future`` or ``Proc`` is a runtime ``TypeError`` the kernel only raises
+on the paths tests happen to exercise.
+
+Procs are identified statically: any generator function whose call is
+passed to a ``.spawn(...)`` (or ``Proc(...)``) anywhere in the scanned
+set, closed transitively over same-file ``yield from helper(...)``
+delegation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.checkers.common import ImportMap
+from repro.lint.findings import Finding
+from repro.lint.source import Project, SourceFile
+
+NAME = "proc-purity"
+
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "open", "input",
+    "socket.socket", "socket.create_connection",
+    "subprocess.run", "subprocess.Popen", "subprocess.call",
+    "subprocess.check_call", "subprocess.check_output",
+    "os.system", "os.popen", "os.waitpid",
+    "urllib.request.urlopen",
+    "requests.get", "requests.post", "requests.request",
+})
+
+
+def check(project: Project) -> Iterator[Finding]:
+    spawned = _spawned_names(project)
+    for source in project.files:
+        yield from _check_file(source, spawned)
+
+
+def _spawned_names(project: Project) -> Set[str]:
+    """Function/method names whose generators are handed to the kernel."""
+    names: Set[str] = set()
+    for source in project.files:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "spawn" and node.args:
+                callee = _call_terminal_name(node.args[0])
+                if callee:
+                    names.add(callee)
+            elif isinstance(node.func, ast.Name) \
+                    and node.func.id == "Proc" and len(node.args) >= 2:
+                callee = _call_terminal_name(node.args[1])
+                if callee:
+                    names.add(callee)
+    return names
+
+
+def _call_terminal_name(node: ast.expr) -> Optional[str]:
+    """``f(...)`` / ``self.f(...)`` / ``mod.f(...)`` -> ``"f"``."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _check_file(source: SourceFile, spawned: Set[str]
+                ) -> Iterator[Finding]:
+    generators: Dict[str, ast.FunctionDef] = {}
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and _is_generator(node):
+            generators[node.name] = node
+
+    # Seed with spawned generators, then close over same-file
+    # `yield from helper(...)` delegation.
+    procs = {name for name in generators if name in spawned}
+    changed = True
+    while changed:
+        changed = False
+        for name in list(procs):
+            for inner in ast.walk(generators[name]):
+                if isinstance(inner, ast.YieldFrom):
+                    callee = _call_terminal_name(inner.value)
+                    if callee in generators and callee not in procs:
+                        procs.add(callee)
+                        changed = True
+
+    imports = ImportMap(source.tree)
+    for name in sorted(procs):
+        yield from _check_proc(source, imports, generators[name])
+
+
+def _is_generator(node: ast.AST) -> bool:
+    for inner in ast.walk(node):
+        if inner is node:
+            continue
+        if isinstance(inner,
+                      (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # don't descend conceptually — but ast.walk does;
+            # nested yields are filtered below via ownership check
+        if isinstance(inner, (ast.Yield, ast.YieldFrom)) \
+                and _owner(node, inner) is node:
+            return True
+    return False
+
+
+def _owner(root: ast.AST, target: ast.AST) -> Optional[ast.AST]:
+    """The innermost function node of ``root`` containing ``target``."""
+    class _Finder(ast.NodeVisitor):
+        def __init__(self):
+            self.stack = [root]
+            self.found: Optional[ast.AST] = None
+
+        def visit(self, node: ast.AST):
+            if node is target:
+                self.found = self.stack[-1]
+                return
+            nested = isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            if nested and node is not root:
+                self.stack.append(node)
+            super().generic_visit(node)
+            if nested and node is not root:
+                self.stack.pop()
+
+    finder = _Finder()
+    finder.visit(root)
+    return finder.found
+
+
+def _check_proc(source: SourceFile, imports: ImportMap,
+                proc: ast.FunctionDef) -> Iterator[Finding]:
+    for node in ast.walk(proc):
+        if isinstance(node, ast.Call):
+            name = imports.resolve_call(node.func)
+            if name in _BLOCKING_CALLS:
+                yield Finding(
+                    path=source.rel, line=node.lineno,
+                    col=node.col_offset, code="RPL020",
+                    symbol=f"{proc.name}:{name}",
+                    message=(f"blocking call {name}() inside event-kernel "
+                             f"proc {proc.name!r} stalls the whole "
+                             f"simulation"))
+        elif isinstance(node, ast.Yield) and node.value is not None \
+                and _owner(proc, node) is proc:
+            yield from _check_yield(source, proc, node)
+
+
+def _check_yield(source: SourceFile, proc: ast.FunctionDef,
+                 node: ast.Yield) -> Iterator[Finding]:
+    value = node.value
+    bad_type: Optional[str] = None
+    if isinstance(value, ast.Constant):
+        if isinstance(value.value, bool):
+            bad_type = "bool"
+        elif isinstance(value.value, (str, bytes)):
+            bad_type = type(value.value).__name__
+    elif isinstance(value, (ast.Dict, ast.List, ast.Set, ast.Tuple,
+                            ast.DictComp, ast.ListComp, ast.SetComp,
+                            ast.JoinedStr)):
+        bad_type = type(value).__name__.lower()
+    elif isinstance(value, ast.UnaryOp) \
+            and isinstance(value.op, ast.USub) \
+            and isinstance(value.operand, ast.Constant) \
+            and isinstance(value.operand.value, (int, float)):
+        yield Finding(
+            path=source.rel, line=node.lineno, col=node.col_offset,
+            code="RPL022", symbol=f"{proc.name}:-{value.operand.value}",
+            message=(f"proc {proc.name!r} yields the negative sleep "
+                     f"-{value.operand.value}; the kernel rejects "
+                     f"negative delays"))
+        return
+    if bad_type is not None:
+        yield Finding(
+            path=source.rel, line=node.lineno, col=node.col_offset,
+            code="RPL021", symbol=f"{proc.name}:{bad_type}",
+            message=(f"proc {proc.name!r} yields a {bad_type}; the "
+                     f"kernel only awaits numbers, None, Futures and "
+                     f"Procs"))

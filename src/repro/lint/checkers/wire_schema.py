@@ -1,0 +1,310 @@
+"""RPL03x — wire-schema sync across codec, protocol and dispatch.
+
+Three artifacts must agree for a message to survive the UDP backend:
+the kind constants (``net/protocol.py``), the codec's tag order and
+per-kind field tables (``net/wire.py``), and the peer's handler dispatch
+(``core/peer.py``).  PR 6 pinned the codec's *sizes* with golden tests;
+this checker pins its *coverage* — an unregistered kind, a literal-typed
+handler key or a payload field the codec cannot carry becomes a lint
+error instead of a runtime ``WireError``.
+
+Kinds that deliberately never cross a socket (sim-internal index
+construction and churn) are declared in :data:`SIM_ONLY_KINDS`; the
+declaration is itself checked for staleness (RPL036).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.checkers.common import module_constants, resolve_str_node
+from repro.lint.findings import Finding
+from repro.lint.source import Project, SourceFile
+
+NAME = "wire-schema"
+
+WIRE_PATH = "net/wire.py"
+PROTOCOL_PATH = "net/protocol.py"
+PEER_PATH = "core/peer.py"
+
+#: Kind *values* that intentionally have no wire schema: they exist only
+#: inside one simulator process (index construction, churn handover,
+#: replication), never on the UDP path.
+SIM_ONLY_KINDS = frozenset({
+    "PublishKey",       # contributor -> responsible peer, build phase
+    "PublishAck",       # its ack, build phase
+    "ExpandNotify",     # HDK expansion round, build phase
+    "IndexHandover",    # churn key-range handover
+    "ReplicaPush",      # replication push, crash-fault tolerance
+})
+
+
+def check(project: Project) -> Iterator[Finding]:
+    wire = project.find(WIRE_PATH)
+    proto = project.find(PROTOCOL_PATH)
+    if wire is None or proto is None:
+        return  # cross-file checker: runs only when the codec is scanned
+
+    constants = module_constants(proto.tree)  # NAME -> kind value
+    kind_values = set(constants.values())
+    wire_consts = dict(constants)
+    wire_consts.update(module_constants(wire.tree))  # ACK/ERR/HELLO/...
+
+    schemas = _extract_schemas(wire, wire_consts)
+    kind_order = _extract_kind_order(wire, wire_consts)
+    schema_kinds = {kind for kind, _fields, _node in schemas}
+
+    yield from _check_order(wire, schemas, kind_order, schema_kinds)
+    yield from _check_protocol_coverage(proto, constants, schema_kinds)
+    yield from _check_sim_only_declaration(wire, kind_values, schema_kinds)
+
+    peer = project.find(PEER_PATH)
+    if peer is not None:
+        yield from _check_handlers(peer, constants, kind_values,
+                                   schema_kinds)
+
+    field_tables = {kind: fields for kind, fields, _node in schemas}
+    for source in project.files:
+        yield from _check_payload_literals(source, constants, field_tables)
+
+
+# ----------------------------------------------------------------------
+# Extraction (shared with the golden test against wire.message_kinds())
+# ----------------------------------------------------------------------
+
+def _find_assignment(tree: ast.Module, name: str) -> Optional[ast.expr]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and node.targets[0].id == name:
+            return node.value
+        if isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name) \
+                and node.target.id == name and node.value is not None:
+            return node.value
+    return None
+
+
+def _extract_schemas(wire: SourceFile, constants: Dict[str, str]
+                     ) -> List[Tuple[str, Tuple[str, ...], ast.expr]]:
+    """``(kind, field names, key node)`` for every ``_SCHEMAS`` entry."""
+    value = _find_assignment(wire.tree, "_SCHEMAS")
+    entries: List[Tuple[str, Tuple[str, ...], ast.expr]] = []
+    if not isinstance(value, ast.Dict):
+        return entries
+    for key, schema in zip(value.keys, value.values):
+        if key is None:
+            continue
+        kind = resolve_str_node(key, constants)
+        if kind is None:
+            continue
+        fields: Tuple[str, ...] = ()
+        if isinstance(schema, ast.Dict):
+            fields = tuple(
+                field.value for field in schema.keys
+                if isinstance(field, ast.Constant)
+                and isinstance(field.value, str))
+        entries.append((kind, fields, key))
+    return entries
+
+
+def _extract_kind_order(wire: SourceFile, constants: Dict[str, str]
+                        ) -> List[Tuple[str, ast.expr]]:
+    value = _find_assignment(wire.tree, "_KIND_ORDER")
+    entries: List[Tuple[str, ast.expr]] = []
+    if not isinstance(value, (ast.Tuple, ast.List)):
+        return entries
+    for element in value.elts:
+        kind = resolve_str_node(element, constants)
+        if kind is not None:
+            entries.append((kind, element))
+    return entries
+
+
+def extracted_message_kinds(project: Project
+                            ) -> Dict[str, Tuple[str, ...]]:
+    """Static view of the codec schema, for the golden test.
+
+    Mirrors :func:`repro.net.wire.message_kinds` — kind -> field names
+    in tag order — but derived purely from the AST.
+    """
+    wire = project.find(WIRE_PATH)
+    proto = project.find(PROTOCOL_PATH)
+    if wire is None or proto is None:
+        raise ValueError("wire/protocol modules not in the scanned set")
+    constants = module_constants(proto.tree)
+    constants.update(module_constants(wire.tree))
+    field_tables = {kind: fields for kind, fields, _node
+                    in _extract_schemas(wire, constants)}
+    return {kind: field_tables[kind]
+            for kind, _node in _extract_kind_order(wire, constants)
+            if kind in field_tables}
+
+
+# ----------------------------------------------------------------------
+# Checks
+# ----------------------------------------------------------------------
+
+def _check_order(wire: SourceFile,
+                 schemas: List[Tuple[str, Tuple[str, ...], ast.expr]],
+                 kind_order: List[Tuple[str, ast.expr]],
+                 schema_kinds: Set[str]) -> Iterator[Finding]:
+    seen: Set[str] = set()
+    order_kinds: Set[str] = set()
+    for kind, node in kind_order:
+        order_kinds.add(kind)
+        if kind in seen:
+            yield _finding(wire, node, "RPL030", kind,
+                           f"kind {kind!r} appears twice in _KIND_ORDER "
+                           f"(tags must stay unique and stable)")
+        seen.add(kind)
+        if kind not in schema_kinds:
+            yield _finding(wire, node, "RPL030", kind,
+                           f"kind {kind!r} has a wire tag but no entry "
+                           f"in _SCHEMAS")
+    for kind, _fields, node in schemas:
+        if kind not in order_kinds:
+            yield _finding(wire, node, "RPL030", kind,
+                           f"kind {kind!r} has a schema but no tag in "
+                           f"_KIND_ORDER (append it — tags are stable)")
+
+
+def _check_protocol_coverage(proto: SourceFile, constants: Dict[str, str],
+                             schema_kinds: Set[str]) -> Iterator[Finding]:
+    for name, kind in sorted(constants.items()):
+        if kind in schema_kinds or kind in SIM_ONLY_KINDS:
+            continue
+        yield Finding(
+            path=proto.rel, line=1, col=0, code="RPL031", symbol=kind,
+            message=(f"protocol kind {name} = {kind!r} has no wire "
+                     f"schema and is not declared sim-only "
+                     f"(repro.lint.checkers.wire_schema.SIM_ONLY_KINDS)"))
+
+
+def _check_sim_only_declaration(wire: SourceFile, kind_values: Set[str],
+                                schema_kinds: Set[str]
+                                ) -> Iterator[Finding]:
+    for kind in sorted(SIM_ONLY_KINDS):
+        if kind not in kind_values:
+            yield Finding(
+                path=wire.rel, line=1, col=0, code="RPL036", symbol=kind,
+                message=(f"SIM_ONLY_KINDS declares {kind!r}, which is "
+                         f"not a protocol kind"))
+        elif kind in schema_kinds:
+            yield Finding(
+                path=wire.rel, line=1, col=0, code="RPL036", symbol=kind,
+                message=(f"SIM_ONLY_KINDS declares {kind!r}, but the "
+                         f"codec now has a schema for it — drop the "
+                         f"declaration"))
+
+
+def _check_handlers(peer: SourceFile, constants: Dict[str, str],
+                    kind_values: Set[str], schema_kinds: Set[str]
+                    ) -> Iterator[Finding]:
+    peer_class = None
+    for node in peer.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "AlvisPeer":
+            peer_class = node
+            break
+    if peer_class is None:
+        return
+    methods = {child.name
+               for child in peer_class.body
+               if isinstance(child, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef))}
+    table = None
+    for child in peer_class.body:
+        if isinstance(child, ast.Assign) and len(child.targets) == 1 \
+                and isinstance(child.targets[0], ast.Name) \
+                and child.targets[0].id == "_HANDLER_NAMES":
+            table = child.value
+        elif isinstance(child, ast.AnnAssign) \
+                and isinstance(child.target, ast.Name) \
+                and child.target.id == "_HANDLER_NAMES":
+            table = child.value
+    if not isinstance(table, ast.Dict):
+        return
+    for key, value in zip(table.keys, table.values):
+        if key is None:
+            continue
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            kind: Optional[str] = key.value
+            yield _finding(
+                peer, key, "RPL032", key.value,
+                f"handler for {key.value!r} is keyed by a string "
+                f"literal; use the protocol constant so the kind has "
+                f"one definition")
+        else:
+            # protocol.X / X — resolve via the constant's name.
+            kind = resolve_str_node(key, constants)
+            if kind is None:
+                continue  # computed key; nothing to check statically
+        if kind not in kind_values:
+            yield _finding(
+                peer, key, "RPL032", kind,
+                f"handler kind {kind!r} is not a protocol constant "
+                f"value")
+        elif kind not in schema_kinds and kind not in SIM_ONLY_KINDS:
+            yield _finding(
+                peer, key, "RPL034", kind,
+                f"peer handles {kind!r}, which has no wire schema and "
+                f"is not declared sim-only — it would fail to decode on "
+                f"the UDP backend")
+        if isinstance(value, ast.Constant) \
+                and isinstance(value.value, str) \
+                and value.value not in methods:
+            yield _finding(
+                peer, value, "RPL033", value.value,
+                f"handler table names {value.value!r}, which AlvisPeer "
+                f"does not define")
+
+
+def _check_payload_literals(source: SourceFile, constants: Dict[str, str],
+                            field_tables: Dict[str, Tuple[str, ...]]
+                            ) -> Iterator[Finding]:
+    """Literal payload dicts must only use fields the codec carries."""
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        kind_node: Optional[ast.expr] = None
+        payload_node: Optional[ast.expr] = None
+        if isinstance(node.func, ast.Name) and node.func.id == "Message":
+            kind_node = _argument(node, 2, "kind")
+            payload_node = _argument(node, 3, "payload")
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "reply" and len(node.args) >= 1:
+            kind_node = node.args[0]
+            payload_node = _argument(node, 1, "payload")
+        if kind_node is None or not isinstance(payload_node, ast.Dict):
+            continue
+        kind = resolve_str_node(kind_node, constants)
+        fields = field_tables.get(kind) if kind is not None else None
+        if fields is None:
+            continue
+        for key in payload_node.keys:
+            if isinstance(key, ast.Constant) \
+                    and isinstance(key.value, str) \
+                    and key.value not in fields:
+                yield _finding(
+                    source, key, "RPL035", f"{kind}.{key.value}",
+                    f"payload field {key.value!r} of {kind!r} is not in "
+                    f"the wire field table (net/wire.py _SCHEMAS) — the "
+                    f"UDP codec silently drops unknown fields")
+
+
+def _argument(node: ast.Call, index: int, name: str
+              ) -> Optional[ast.expr]:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    if len(node.args) > index:
+        return node.args[index]
+    return None
+
+
+def _finding(source: SourceFile, node: ast.AST, code: str, symbol: str,
+             message: str) -> Finding:
+    return Finding(path=source.rel, line=getattr(node, "lineno", 1),
+                   col=getattr(node, "col_offset", 0), code=code,
+                   symbol=symbol, message=message)

@@ -1,0 +1,114 @@
+"""``repro lint`` — the command-line front end.
+
+Exit status: 0 when the scan matches the committed baseline exactly
+(no new findings, no stale entries), 1 otherwise.  ``--update-baseline``
+rewrites the baseline to the current findings and exits 0; use it only
+to grandfather debt deliberately — the goal state is an empty baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import IO, List
+
+from repro.lint.baseline import (compare_with_baseline, load_baseline,
+                                 write_baseline)
+from repro.lint.codes import CODES
+from repro.lint.findings import format_findings
+from repro.lint.runner import run_lint
+
+__all__ = ["add_lint_arguments", "run_lint_command", "main"]
+
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=(f"files or directories to lint (default: the repo's "
+              f"{'/'.join(DEFAULT_PATHS)} directories that exist)"))
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="lint_format",
+        help="output format (text: path:line:col: CODE message)")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=(f"baseline file of grandfathered findings (default: "
+              f"./{DEFAULT_BASELINE} when present)"))
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to the current findings and exit 0")
+    parser.add_argument(
+        "--list-codes", action="store_true",
+        help="print the RPL error-code table and exit")
+
+
+def run_lint_command(args: argparse.Namespace, out: IO[str]) -> int:
+    if args.list_codes:
+        _print_codes(out)
+        return 0
+
+    root = Path.cwd()
+    paths = [Path(p) for p in args.paths] if args.paths else \
+        [root / p for p in DEFAULT_PATHS if (root / p).is_dir()]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: "
+              f"{', '.join(str(p) for p in missing)}", file=out)
+        return 2
+    if not paths:
+        print("repro lint: nothing to lint", file=out)
+        return 2
+
+    findings = run_lint(paths, project_root=root)
+
+    baseline_path = Path(args.baseline) if args.baseline else \
+        root / DEFAULT_BASELINE
+    if args.update_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"baseline updated: {baseline_path} "
+              f"({len(findings)} finding(s))", file=out)
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new, stale = compare_with_baseline(findings, baseline)
+
+    if new:
+        print(format_findings(new, args.lint_format), file=out)
+    elif args.lint_format == "json":
+        print("[]", file=out)
+    for path, code, symbol in stale:
+        print(f"stale baseline entry: {path} {code} {symbol} — fixed "
+              f"findings must be removed from {baseline_path.name}",
+              file=out)
+    suppressed = len(baseline) and sum(baseline.values()) - len(stale)
+    summary: List[str] = [f"{len(new)} finding(s)"]
+    if baseline:
+        summary.append(f"{suppressed} baselined")
+    if stale:
+        summary.append(f"{len(stale)} stale baseline entrie(s)")
+    if args.lint_format == "text":
+        print(f"repro lint: {', '.join(summary)}", file=out)
+    return 1 if new or stale else 0
+
+
+def _print_codes(out: IO[str]) -> None:
+    width = max(len(code) for code in CODES)
+    checker_width = max(len(entry.checker) for entry in CODES.values())
+    for code, entry in sorted(CODES.items()):
+        print(f"{code:<{width}}  {entry.checker:<{checker_width}}  "
+              f"{entry.summary}", file=out)
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin wrapper
+    import sys
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description=__doc__.splitlines()[0])
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv), sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""The RPL error-code registry.
+
+One entry per code: which checker owns it, what it flags, and which
+repo invariant it protects.  ``repro lint --list-codes`` renders this
+table; CONTRIBUTING.md mirrors it for reviewers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+__all__ = ["Code", "CODES", "checker_of"]
+
+
+class Code(NamedTuple):
+    checker: str    #: owning checker (suppression bookkeeping + docs)
+    summary: str    #: one-line description of what the code flags
+    invariant: str  #: the repo guarantee the rule protects
+
+
+CODES: Dict[str, Code] = {
+    # Suppression bookkeeping (the runner itself) ----------------------
+    "RPL000": Code(
+        "suppressions",
+        "suppression comment without a (reason)",
+        "every disabled rule records why it is safe to disable"),
+    "RPL009": Code(
+        "suppressions",
+        "suppression comment that silences no finding",
+        "stale suppressions do not hide future regressions"),
+
+    # Determinism ------------------------------------------------------
+    "RPL010": Code(
+        "determinism",
+        "wall-clock read (time.time/monotonic/perf_counter, "
+        "datetime.now, ...) in a sim-reachable module",
+        "simulation results are a pure function of the seed; virtual "
+        "time comes only from the sim clock"),
+    "RPL011": Code(
+        "determinism",
+        "global or unseeded RNG (bare random.*, random.Random(), "
+        "os.urandom, uuid.uuid4, secrets.*)",
+        "all randomness flows through explicitly seeded "
+        "random.Random streams (util/rng.py)"),
+    "RPL012": Code(
+        "determinism",
+        "environment read (os.environ/os.getenv) in a sim-reachable "
+        "module",
+        "a simulation run cannot change behaviour with ambient "
+        "process state"),
+
+    # Proc purity ------------------------------------------------------
+    "RPL020": Code(
+        "proc-purity",
+        "blocking call (time.sleep, open, socket/subprocess I/O) "
+        "inside an event-kernel proc",
+        "procs advance only through the virtual clock; one blocking "
+        "call stalls the whole single-threaded kernel"),
+    "RPL021": Code(
+        "proc-purity",
+        "yield of a type the kernel cannot await (string, bool, "
+        "dict/list/set/tuple literal)",
+        "a proc may only yield numbers, None, Futures or Procs "
+        "(repro.sim.procs)"),
+    "RPL022": Code(
+        "proc-purity",
+        "negative literal sleep yielded from a proc",
+        "the kernel rejects negative sleeps at runtime; catch them "
+        "at review time"),
+
+    # Wire-schema sync -------------------------------------------------
+    "RPL030": Code(
+        "wire-schema",
+        "net/wire.py _SCHEMAS and _KIND_ORDER disagree (missing or "
+        "duplicate kind)",
+        "every codec schema has exactly one stable tag"),
+    "RPL031": Code(
+        "wire-schema",
+        "protocol kind with neither a wire schema nor a sim-only "
+        "declaration",
+        "a kind that can leave the simulator must be encodable; "
+        "sim-only kinds are declared, not forgotten"),
+    "RPL032": Code(
+        "wire-schema",
+        "handler registered under a string literal instead of a "
+        "protocol constant",
+        "kind strings have one definition (net/protocol.py); "
+        "literals drift silently"),
+    "RPL033": Code(
+        "wire-schema",
+        "handler table names a method AlvisPeer does not define",
+        "an unregistered kind fails at review time, not as a "
+        "runtime AttributeError"),
+    "RPL034": Code(
+        "wire-schema",
+        "handled request kind missing from the wire schema (and not "
+        "declared sim-only)",
+        "every kind a peer can receive over UDP must decode"),
+    "RPL035": Code(
+        "wire-schema",
+        "message payload field absent from the kind's wire field "
+        "table",
+        "the codec raises UnknownKindError for unknown fields; "
+        "catch the drift statically"),
+    "RPL036": Code(
+        "wire-schema",
+        "stale sim-only declaration (kind unknown, or now has a "
+        "wire schema)",
+        "the sim-only list shrinks as the codec grows; stale "
+        "entries mask real RPL031 drift"),
+
+    # Hot-path hygiene -------------------------------------------------
+    "RPL040": Code(
+        "hot-path",
+        "class in a designated hot module without __slots__",
+        "per-instance __dict__s dominate the footprint at 100k "
+        "peers (see PR 7)"),
+    "RPL041": Code(
+        "hot-path",
+        "per-instance dict of bound methods assigned in __init__",
+        "dispatch tables are class-level (kind -> method name); "
+        "bound-method dicts cost ~enough per peer to dominate "
+        "empty-peer memory"),
+
+    # Layering ---------------------------------------------------------
+    "RPL050": Code(
+        "layering",
+        "upward import against the declared layer DAG",
+        "util -> sim -> ir -> net -> dht -> core -> corpus -> "
+        "baselines/eval/cluster -> cli stays acyclic"),
+    "RPL051": Code(
+        "layering",
+        "module outside the declared layer table",
+        "new top-level packages take an explicit rank before they "
+        "grow imports"),
+
+    # Config discipline ------------------------------------------------
+    "RPL060": Code(
+        "config-discipline",
+        "AlvisConfig default differs from the pinned table",
+        "every knob defaults to its reviewed off/legacy value, so "
+        "seed traffic and traces stay comparable across PRs"),
+    "RPL061": Code(
+        "config-discipline",
+        "AlvisConfig knob missing from the pinned table",
+        "a new knob's default is reviewed (and pinned) before it "
+        "ships"),
+    "RPL062": Code(
+        "config-discipline",
+        "pinned knob that AlvisConfig no longer defines",
+        "the pinned table tracks the real config surface"),
+}
+
+
+def checker_of(code: str) -> str:
+    """Owning checker name for ``code`` (``"?"`` when unknown)."""
+    entry = CODES.get(code)
+    return entry.checker if entry is not None else "?"

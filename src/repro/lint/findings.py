@@ -1,0 +1,50 @@
+"""Findings: what a checker reports, and how it is rendered.
+
+A finding's *fingerprint* — ``(path, code, symbol)`` — deliberately
+excludes the line number, so a baseline entry survives unrelated edits
+to the same file; ``symbol`` is the stable offending token (the dotted
+call name, the class name, the knob, the import target...).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+__all__ = ["Finding", "fingerprint", "format_findings"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location."""
+
+    path: str      #: project-root-relative posix path
+    line: int      #: 1-based line of the offending node
+    col: int       #: 0-based column
+    code: str      #: stable error code ("RPL010", ...)
+    symbol: str    #: stable offending token, used for baselining
+    message: str   #: human-readable explanation
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def fingerprint(finding: Finding) -> Tuple[str, str, str]:
+    """Baseline identity of a finding (line numbers excluded)."""
+    return (finding.path, finding.code, finding.symbol)
+
+
+def format_findings(findings: Iterable[Finding], fmt: str = "text") -> str:
+    """Render findings as ``text`` (one per line) or ``json``."""
+    ordered: List[Finding] = sorted(findings)
+    if fmt == "json":
+        return json.dumps(
+            [{"path": f.path, "line": f.line, "col": f.col,
+              "code": f.code, "symbol": f.symbol, "message": f.message}
+             for f in ordered],
+            indent=2)
+    if fmt != "text":
+        raise ValueError(f"unknown format {fmt!r} (expected text or json)")
+    return "\n".join(f"{f.location()}: {f.code} {f.message}"
+                     for f in ordered)

@@ -1,0 +1,74 @@
+"""The lint pipeline: parse -> check -> suppress -> meta-findings.
+
+Order matters: suppressions are matched while the checkers' findings
+stream through (marking them used), and only then can RPL009 (unused
+suppression) be decided.  RPL000 (missing reason) is independent of
+usage — an undocumented suppression is a problem whether or not it
+currently fires.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.checkers import CHECKERS
+from repro.lint.findings import Finding
+from repro.lint.source import Project
+
+__all__ = ["run_lint", "run_checks"]
+
+
+def run_checks(project: Project,
+               checkers: Sequence = CHECKERS) -> List[Finding]:
+    """Run ``checkers`` over an already-loaded project.
+
+    Returns the sorted surviving findings: checker findings not covered
+    by an inline suppression, plus RPL000 for every suppression missing
+    its mandatory reason and RPL009 for every suppression that silenced
+    nothing.
+    """
+    by_rel = {source.rel: source for source in project.files}
+    survivors: List[Finding] = []
+    for checker in checkers:
+        for finding in checker.check(project):
+            source = by_rel.get(finding.path)
+            if source is not None and source.suppressions.matches(
+                    finding.line, finding.code):
+                continue
+            survivors.append(finding)
+
+    for source in project.files:
+        for suppression in source.suppressions.all:
+            if suppression.reason is None:
+                survivors.append(Finding(
+                    path=source.rel, line=suppression.line, col=0,
+                    code="RPL000",
+                    symbol=",".join(suppression.codes),
+                    message=("suppression without a reason — write "
+                             "# repro-lint: disable="
+                             f"{','.join(suppression.codes)} "
+                             "(why this is safe)")))
+            if not suppression.used:
+                survivors.append(Finding(
+                    path=source.rel, line=suppression.line, col=0,
+                    code="RPL009",
+                    symbol=",".join(suppression.codes),
+                    message=(f"suppression of "
+                             f"{','.join(suppression.codes)} silences "
+                             f"nothing — remove it so it cannot mask a "
+                             f"future regression")))
+    return sorted(survivors)
+
+
+def run_lint(paths: Sequence[Path],
+             project_root: Optional[Path] = None,
+             checkers: Sequence = CHECKERS) -> List[Finding]:
+    """Lint ``paths`` (files or directories) and return the findings.
+
+    ``project_root`` anchors the reported relative paths; it defaults to
+    the common parent the caller runs from (the current directory).
+    """
+    root = project_root if project_root is not None else Path.cwd()
+    project = Project.load([Path(p) for p in paths], root)
+    return run_checks(project, checkers)

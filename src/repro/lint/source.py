@@ -1,0 +1,93 @@
+"""Source discovery and the per-file parse unit.
+
+A :class:`SourceFile` carries the parsed AST, the suppression index and
+the file's position *inside the repro package* (``repro_rel``), which is
+what scope rules key on: ``sim/events.py`` stays ``sim/events.py``
+whether the tree lives under ``src/repro/`` in this repo or under a
+fixture directory in a test.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path, PurePosixPath
+from typing import Iterator, List, Optional, Sequence
+
+from repro.lint.suppress import SuppressionIndex, parse_suppressions
+
+__all__ = ["SourceFile", "Project", "discover_files"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache",
+              ".benchmarks", "node_modules"}
+
+
+class SourceFile:
+    """One parsed python file."""
+
+    def __init__(self, path: Path, project_root: Path):
+        self.path = path
+        self.rel = PurePosixPath(
+            path.resolve().relative_to(project_root.resolve())).as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        self.tree = ast.parse(self.text, filename=str(path))
+        self.suppressions = SuppressionIndex(parse_suppressions(self.text))
+        self.repro_rel = _repro_relative(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SourceFile({self.rel})"
+
+
+def _repro_relative(path: Path) -> Optional[str]:
+    """Path below the innermost ``repro`` package dir, or ``None``.
+
+    ``.../src/repro/sim/events.py`` -> ``"sim/events.py"``;
+    ``.../src/repro/cli.py`` -> ``"cli.py"``; files outside a ``repro``
+    package (benchmarks, examples, tests) -> ``None``.
+    """
+    parts = path.resolve().parts
+    for index in range(len(parts) - 2, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1:])
+    return None
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen = {}
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterator[Path] = (
+                candidate for candidate in sorted(path.rglob("*.py"))
+                if not _skipped(candidate))
+        elif path.suffix == ".py":
+            candidates = iter([path])
+        else:
+            continue
+        for candidate in candidates:
+            seen[candidate.resolve()] = candidate
+    return sorted(seen.values())
+
+
+def _skipped(path: Path) -> bool:
+    return any(part in _SKIP_DIRS or part.startswith(".")
+               for part in path.parts)
+
+
+class Project:
+    """Everything the checkers see: the parsed file set plus lookups."""
+
+    def __init__(self, files: Sequence[SourceFile], project_root: Path):
+        self.files = list(files)
+        self.project_root = project_root
+        self._by_repro_rel = {f.repro_rel: f for f in self.files
+                              if f.repro_rel is not None}
+
+    @classmethod
+    def load(cls, paths: Sequence[Path], project_root: Path) -> "Project":
+        files = [SourceFile(path, project_root)
+                 for path in discover_files(paths)]
+        return cls(files, project_root)
+
+    def find(self, repro_rel: str) -> Optional[SourceFile]:
+        """The scanned file at a repro-package-relative path, if any."""
+        return self._by_repro_rel.get(repro_rel)

@@ -1,0 +1,100 @@
+"""Inline suppression comments.
+
+Syntax (same line as the finding, or a standalone comment line directly
+above it)::
+
+    started = time.perf_counter()  # repro-lint: disable=RPL010 (reason)
+
+    # repro-lint: disable=RPL010,RPL011 (one reason for both)
+    started = time.perf_counter()
+
+The parenthesized reason is mandatory: a suppression without one is
+reported as RPL000.  Suppressions that silence nothing are reported as
+RPL009, so stale disables cannot linger and mask future regressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Suppression", "parse_suppressions", "SuppressionIndex"]
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=\s*"
+    r"(?P<codes>RPL\d{3}(?:\s*,\s*RPL\d{3})*)"
+    r"(?:\s*\((?P<reason>[^)]*)\))?")
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int                 #: line the comment sits on (1-based)
+    target_line: int          #: line whose findings it silences
+    codes: Tuple[str, ...]
+    reason: Optional[str]     #: None when the mandatory reason is missing
+    used: bool = field(default=False, compare=False)
+
+
+def parse_suppressions(text: str) -> List[Suppression]:
+    """Extract every suppression comment from ``text``.
+
+    A comment-only line targets the next line; a trailing comment
+    targets its own line.  Real COMMENT tokens only — a directive shown
+    inside a docstring or string literal is documentation, not a
+    suppression.
+    """
+    suppressions: List[Suppression] = []
+    lines = text.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return suppressions  # unparseable text carries no suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        index, col = token.start
+        before = lines[index - 1][:col] if index <= len(lines) else ""
+        standalone = not before.strip()
+        codes = tuple(code.strip()
+                      for code in match.group("codes").split(","))
+        reason = match.group("reason")
+        if reason is not None:
+            reason = reason.strip() or None
+        suppressions.append(Suppression(
+            line=index,
+            target_line=index + 1 if standalone else index,
+            codes=codes,
+            reason=reason))
+    return suppressions
+
+
+class SuppressionIndex:
+    """Per-file lookup: is (line, code) suppressed?  Tracks usage."""
+
+    def __init__(self, suppressions: List[Suppression]):
+        self._by_line: Dict[int, List[Suppression]] = {}
+        self.all = suppressions
+        for suppression in suppressions:
+            self._by_line.setdefault(suppression.target_line,
+                                     []).append(suppression)
+
+    def matches(self, line: int, code: str) -> bool:
+        """True (and mark used) when a suppression covers the finding.
+
+        Suppressions missing their reason still *suppress* — RPL000
+        already reports the missing reason; double-reporting the
+        underlying finding would punish the same mistake twice.
+        """
+        for suppression in self._by_line.get(line, ()):
+            if code in suppression.codes:
+                suppression.used = True
+                return True
+        return False

@@ -42,7 +42,7 @@ from __future__ import annotations
 import struct
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.core import protocol
+from repro.net import protocol
 from repro.net.message import HEADER_BYTES, Message
 from repro.ir.postings import Posting, PostingList
 
@@ -51,7 +51,7 @@ __all__ = [
     "ACK", "ERR", "HELLO", "WELCOME", "BYE",
     "WireError", "TruncatedDatagramError", "UnknownKindError",
     "OversizedPayloadError", "UnsupportedKindError",
-    "encode", "decode", "supported_kinds",
+    "encode", "decode", "supported_kinds", "message_kinds",
 ]
 
 #: Pinned constant offset between ``len(encode(m))`` and the
@@ -183,6 +183,17 @@ assert _HEADER.size == HEADER_BYTES, _HEADER.size
 def supported_kinds() -> Tuple[str, ...]:
     """Every message kind the codec can carry (schema order)."""
     return _KIND_ORDER
+
+
+def message_kinds() -> Dict[str, Tuple[str, ...]]:
+    """The full wire schema: kind -> field names, in tag order.
+
+    This is the runtime ground truth that ``repro lint``'s wire-schema
+    checker extracts statically; ``tests/test_lint_wire_schema.py`` pins
+    the two views against each other so the checker cannot silently
+    drift from the codec.
+    """
+    return {kind: tuple(_SCHEMAS[kind]) for kind in _KIND_ORDER}
 
 
 # ----------------------------------------------------------------------

@@ -99,6 +99,8 @@ class EventQueue:
     one shared code path when they reach the head.
     """
 
+    __slots__ = ("_heap", "_sequence", "_live")
+
     def __init__(self):
         self._heap: List[Event] = []
         self._sequence = 0
@@ -192,7 +194,7 @@ class EventQueue:
 
 
 @dataclass(order=True)
-class LegacyEvent:
+class LegacyEvent:  # repro-lint: disable=RPL040 (pre-optimisation kernel preserved verbatim for A/B benchmarks; py3.9 dataclasses cannot take slots=True)
     """The pre-optimisation dataclass event (kept for A/B benchmarks).
 
     Ordering compares ``(time, sequence)`` only; the callback itself is
@@ -220,7 +222,7 @@ class LegacyEvent:
             self._on_cancel = None
 
 
-class LegacyEventQueue:
+class LegacyEventQueue:  # repro-lint: disable=RPL040 (pre-optimisation kernel preserved verbatim for A/B benchmarks)
     """The pre-optimisation event queue (kept for A/B benchmarks).
 
     Same public interface as :class:`EventQueue`; the simulator falls
@@ -291,6 +293,9 @@ class Simulator:
     loops is accumulated so ``events_per_sec`` reports kernel throughput.
     """
 
+    __slots__ = ("clock", "queue", "metrics", "_events_processed",
+                 "_wall_seconds")
+
     def __init__(self, start_time: float = 0.0,
                  queue: Optional[Any] = None):
         self.clock = VirtualClock(start_time)
@@ -353,7 +358,7 @@ class Simulator:
         queue = self.queue
         if type(queue) is EventQueue:
             return self._run_fast(max_events, None)
-        started = _time.perf_counter()
+        started = _time.perf_counter()  # repro-lint: disable=RPL010 (wall-clock throughput instrumentation, not sim time)
         processed = 0
         clock = self.clock
         try:
@@ -366,7 +371,7 @@ class Simulator:
                 processed += 1
         finally:
             self._events_processed += processed
-            self._wall_seconds += _time.perf_counter() - started
+            self._wall_seconds += _time.perf_counter() - started  # repro-lint: disable=RPL010 (wall-clock throughput instrumentation, not sim time)
         return processed
 
     def run_until(self, end_time: float) -> int:
@@ -378,7 +383,7 @@ class Simulator:
         if type(queue) is EventQueue:
             processed = self._run_fast(None, end_time)
         else:
-            started = _time.perf_counter()
+            started = _time.perf_counter()  # repro-lint: disable=RPL010 (wall-clock throughput instrumentation, not sim time)
             processed = 0
             clock = self.clock
             try:
@@ -393,7 +398,7 @@ class Simulator:
                     processed += 1
             finally:
                 self._events_processed += processed
-                self._wall_seconds += _time.perf_counter() - started
+                self._wall_seconds += _time.perf_counter() - started  # repro-lint: disable=RPL010 (wall-clock throughput instrumentation, not sim time)
         if end_time > self.clock.now:
             self.clock.advance_to(end_time)
         return processed
@@ -415,7 +420,7 @@ class Simulator:
         clock = self.clock
         processed = 0
         limit = max_events if max_events is not None else -1
-        started = _time.perf_counter()
+        started = _time.perf_counter()  # repro-lint: disable=RPL010 (wall-clock throughput instrumentation, not sim time)
         try:
             while heap:
                 if processed == limit:
@@ -434,5 +439,5 @@ class Simulator:
                 processed += 1
         finally:
             self._events_processed += processed
-            self._wall_seconds += _time.perf_counter() - started
+            self._wall_seconds += _time.perf_counter() - started  # repro-lint: disable=RPL010 (wall-clock throughput instrumentation, not sim time)
         return processed

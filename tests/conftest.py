@@ -7,6 +7,8 @@ destructively (tests that need mutation build their own small network).
 
 from __future__ import annotations
 
+import textwrap
+
 import pytest
 
 from repro.core.config import AlvisConfig
@@ -57,6 +59,32 @@ def qdi_network(small_corpus) -> AlvisNetwork:
     network.distribute_documents(small_corpus.documents())
     network.build_index(mode="qdi")
     return network
+
+
+@pytest.fixture()
+def lint_project(tmp_path):
+    """Factory fixture for lint tests: build a throwaway project tree.
+
+    ``build({"sim/x.py": "...", ...})`` writes the (dedented) sources
+    under ``tmp_path/src/repro/`` — so scope rules keyed on the position
+    inside the repro package apply exactly as in the real tree — and
+    returns the loaded :class:`repro.lint.source.Project`.  Paths with a
+    leading ``./`` are written relative to the project root instead
+    (for files outside the package, e.g. benchmarks).
+    """
+    from repro.lint.source import Project
+
+    def build(files):
+        for rel, text in files.items():
+            if rel.startswith("./"):
+                path = tmp_path / rel[2:]
+            else:
+                path = tmp_path / "src" / "repro" / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return Project.load([tmp_path], tmp_path)
+
+    return build
 
 
 @pytest.fixture()

@@ -1,0 +1,250 @@
+"""The lint pipeline itself: suppressions, baseline, runner, CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import (CODES, compare_with_baseline, load_baseline,
+                        write_baseline)
+from repro.lint.checkers import CHECKERS
+from repro.lint.cli import main as lint_main
+from repro.lint.findings import Finding, fingerprint, format_findings
+from repro.lint.runner import run_checks
+from repro.lint.suppress import parse_suppressions
+
+WALL_CLOCK = """\
+import time
+
+def stamp():
+    return time.time()
+"""
+
+
+def findings_of(project):
+    return run_checks(project)
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+def test_inline_suppression_with_reason(lint_project):
+    project = lint_project({"sim/x.py": """\
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: disable=RPL010 (test clock)
+        """})
+    assert findings_of(project) == []
+
+
+def test_standalone_suppression_targets_next_line(lint_project):
+    project = lint_project({"sim/x.py": """\
+        import time
+
+        def stamp():
+            # repro-lint: disable=RPL010 (test clock)
+            return time.time()
+        """})
+    assert findings_of(project) == []
+
+
+def test_suppression_without_reason_is_rpl000(lint_project):
+    project = lint_project({"sim/x.py": """\
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: disable=RPL010
+        """})
+    (finding,) = findings_of(project)
+    assert finding.code == "RPL000"
+    assert finding.symbol == "RPL010"
+
+
+def test_unused_suppression_is_rpl009(lint_project):
+    project = lint_project({"sim/x.py": """\
+        def stamp():
+            return 42  # repro-lint: disable=RPL010 (nothing here)
+        """})
+    (finding,) = findings_of(project)
+    assert finding.code == "RPL009"
+
+
+def test_suppression_of_wrong_code_does_not_hide(lint_project):
+    project = lint_project({"sim/x.py": """\
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: disable=RPL011 (wrong code)
+        """})
+    codes = sorted(f.code for f in findings_of(project))
+    assert codes == ["RPL009", "RPL010"]
+
+
+def test_multi_code_suppression(lint_project):
+    project = lint_project({"sim/x.py": """\
+        import random
+        import time
+
+        def stamp():
+            # repro-lint: disable=RPL010,RPL011 (both at once)
+            return time.time() + random.random()
+        """})
+    assert findings_of(project) == []
+
+
+def test_docstring_directive_is_not_a_suppression():
+    suppressions = parse_suppressions(
+        '"""Docs show: # repro-lint: disable=RPL010 (like so)"""\n'
+        "x = 1  # repro-lint: disable=RPL011 (real one)\n")
+    assert len(suppressions) == 1
+    assert suppressions[0].codes == ("RPL011",)
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+def make_finding(path="src/repro/sim/x.py", line=4, code="RPL010",
+                 symbol="time.time"):
+    return Finding(path=path, line=line, col=0, code=code,
+                   symbol=symbol, message="m")
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = [make_finding(), make_finding(line=9),
+                make_finding(code="RPL011", symbol="random.random")]
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings)
+    baseline = load_baseline(path)
+    assert baseline[("src/repro/sim/x.py", "RPL010", "time.time")] == 2
+    new, stale = compare_with_baseline(findings, baseline)
+    assert new == [] and stale == []
+
+
+def test_baseline_survives_line_moves(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [make_finding(line=4)])
+    moved = [make_finding(line=400)]
+    new, stale = compare_with_baseline(moved, load_baseline(path))
+    assert new == [] and stale == []
+
+
+def test_new_finding_is_reported(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [make_finding()])
+    extra = make_finding(symbol="time.monotonic")
+    new, stale = compare_with_baseline(
+        [make_finding(), extra], load_baseline(path))
+    assert new == [extra] and stale == []
+
+
+def test_fixed_finding_is_stale(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [make_finding()])
+    new, stale = compare_with_baseline([], load_baseline(path))
+    assert new == []
+    assert stale == [fingerprint(make_finding())]
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == {}
+
+
+# ----------------------------------------------------------------------
+# Formatting
+# ----------------------------------------------------------------------
+
+def test_text_format():
+    text = format_findings([make_finding()])
+    assert text == "src/repro/sim/x.py:4:0: RPL010 m"
+
+
+def test_json_format_round_trips():
+    payload = json.loads(format_findings([make_finding()], "json"))
+    assert payload == [{"path": "src/repro/sim/x.py", "line": 4,
+                        "col": 0, "code": "RPL010",
+                        "symbol": "time.time", "message": "m"}]
+
+
+# ----------------------------------------------------------------------
+# Registry coherence
+# ----------------------------------------------------------------------
+
+def test_all_checkers_registered():
+    assert {module.NAME for module in CHECKERS} == {
+        "determinism", "proc-purity", "wire-schema", "hot-path",
+        "layering", "config-discipline"}
+
+
+def test_every_code_has_a_registered_checker():
+    checker_names = {module.NAME for module in CHECKERS} | \
+        {"suppressions"}
+    for code, entry in CODES.items():
+        assert entry.checker in checker_names, code
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def _write_tree(tmp_path, source=WALL_CLOCK):
+    target = tmp_path / "src" / "repro" / "sim" / "x.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+def test_cli_reports_findings_and_exits_1(tmp_path, monkeypatch, capsys):
+    _write_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src"]) == 1
+    out = capsys.readouterr().out
+    assert "RPL010" in out and "sim/x.py:4" in out
+
+
+def test_cli_clean_tree_exits_0(tmp_path, monkeypatch, capsys):
+    _write_tree(tmp_path, "VALUE = 1\n")
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_json_output(tmp_path, monkeypatch, capsys):
+    _write_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["code"] == "RPL010"
+
+
+def test_cli_baseline_cycle(tmp_path, monkeypatch, capsys):
+    _write_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    # Grandfather the finding, then the same tree is clean...
+    assert lint_main(["src", "--update-baseline"]) == 0
+    assert lint_main(["src"]) == 0
+    # ...and fixing it makes the baseline entry stale (exit 1).
+    _write_tree(tmp_path, "VALUE = 1\n")
+    assert lint_main(["src"]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_cli_missing_path_exits_2(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["definitely-missing"]) == 2
+
+
+def test_cli_list_codes(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["--list-codes"]) == 0
+    out = capsys.readouterr().out
+    for code in CODES:
+        assert code in out
+
+
+def test_repro_cli_has_lint_subcommand(tmp_path, monkeypatch, capsys):
+    from repro.cli import main as repro_main
+    _write_tree(tmp_path, "VALUE = 1\n")
+    monkeypatch.chdir(tmp_path)
+    assert repro_main(["lint", "src"]) == 0

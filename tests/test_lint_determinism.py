@@ -1,0 +1,165 @@
+"""RPL01x determinism checker: calls are flagged, mentions are not."""
+
+from __future__ import annotations
+
+from repro.lint.checkers import determinism
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def run(project):
+    return list(determinism.check(project))
+
+
+def test_wall_clock_call_in_scope(lint_project):
+    project = lint_project({"sim/x.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+        """})
+    (finding,) = run(project)
+    assert finding.code == "RPL010"
+    assert finding.symbol == "time.time"
+    assert finding.path.endswith("sim/x.py")
+
+
+def test_aliased_import_resolves(lint_project):
+    project = lint_project({"core/x.py": """\
+        import time as _t
+
+        def stamp():
+            return _t.perf_counter()
+        """})
+    (finding,) = run(project)
+    assert (finding.code, finding.symbol) == \
+        ("RPL010", "time.perf_counter")
+
+
+def test_from_import_resolves(lint_project):
+    project = lint_project({"dht/x.py": """\
+        from time import monotonic
+
+        def stamp():
+            return monotonic()
+        """})
+    (finding,) = run(project)
+    assert (finding.code, finding.symbol) == ("RPL010", "time.monotonic")
+
+
+def test_datetime_now(lint_project):
+    project = lint_project({"ir/x.py": """\
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """})
+    assert codes(run(project)) == ["RPL010"]
+
+
+def test_global_rng_calls(lint_project):
+    project = lint_project({"net/x.py": """\
+        import os
+        import random
+        import uuid
+
+        def draw():
+            return random.random(), os.urandom(8), uuid.uuid4()
+        """})
+    found = run(project)
+    assert codes(found) == ["RPL011", "RPL011", "RPL011"]
+    assert {f.symbol for f in found} == \
+        {"random.random", "os.urandom", "uuid.uuid4"}
+
+
+def test_unseeded_random_instance(lint_project):
+    project = lint_project({"sim/x.py": """\
+        import random
+
+        def make():
+            return random.Random()
+        """})
+    assert codes(run(project)) == ["RPL011"]
+
+
+def test_seeded_random_and_annotations_are_clean(lint_project):
+    # The exact pattern of dht/routing.py, dht/churn.py, net/latency.py:
+    # `rng: random.Random` annotations and seeded constructions must NOT
+    # be flagged — the rule targets nondeterministic *calls*.
+    project = lint_project({"dht/x.py": """\
+        import random
+
+        def route(rng: random.Random) -> int:
+            return rng.randrange(16)
+
+        def make_stream(seed: int) -> random.Random:
+            return random.Random(seed)
+
+        FIXED = None
+
+        def fixed():
+            global FIXED
+            FIXED = random.Random(0)
+        """})
+    assert run(project) == []
+
+
+def test_environment_reads(lint_project):
+    project = lint_project({"core/x.py": """\
+        import os
+
+        def flags():
+            a = os.getenv("DEBUG")
+            b = os.environ["HOME"]
+            c = "X" in os.environ
+            return a, b, c
+        """})
+    found = run(project)
+    assert all(f.code == "RPL012" for f in found)
+    assert len(found) >= 3
+
+
+def test_out_of_scope_module_is_ignored(lint_project):
+    project = lint_project({"eval/x.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+        """})
+    assert run(project) == []
+
+
+def test_allowlisted_udp_module_is_ignored(lint_project):
+    project = lint_project({"net/udp.py": """\
+        import time
+
+        def deadline():
+            return time.monotonic() + 1.0
+        """})
+    assert run(project) == []
+
+
+def test_file_outside_repro_package_is_ignored(lint_project):
+    project = lint_project({"./benchmarks/x.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+        """})
+    assert run(project) == []
+
+
+def test_in_scope_helper():
+    # The scope predicate itself, pinned: allowlist beats scope.
+    class Fake:
+        def __init__(self, rel):
+            self.repro_rel = rel
+
+    assert determinism.in_scope(Fake("sim/events.py"))
+    assert determinism.in_scope(Fake("net/transport.py"))
+    assert not determinism.in_scope(Fake("net/udp.py"))
+    assert not determinism.in_scope(Fake("cluster/host.py"))
+    assert not determinism.in_scope(Fake("util/process.py"))
+    assert not determinism.in_scope(Fake(None))

@@ -1,0 +1,113 @@
+"""RPL04x hot-path checker: __slots__ in hot modules, no method dicts."""
+
+from __future__ import annotations
+
+from repro.lint.checkers import hotpath
+
+
+def run(project):
+    return list(hotpath.check(project))
+
+
+def test_slotless_class_in_hot_module(lint_project):
+    project = lint_project({"dht/node.py": """\
+        class RoutingEntry:
+            def __init__(self, peer_id):
+                self.peer_id = peer_id
+        """})
+    (finding,) = run(project)
+    assert (finding.code, finding.symbol) == ("RPL040", "RoutingEntry")
+
+
+def test_slotted_class_is_clean(lint_project):
+    project = lint_project({"dht/node.py": """\
+        class RoutingEntry:
+            __slots__ = ("peer_id",)
+
+            def __init__(self, peer_id):
+                self.peer_id = peer_id
+        """})
+    assert run(project) == []
+
+
+def test_exception_classes_are_exempt(lint_project):
+    project = lint_project({"core/keys.py": """\
+        class TruncationError(Exception):
+            pass
+
+        class BadKeyError(ValueError):
+            pass
+        """})
+    assert run(project) == []
+
+
+def test_cold_module_needs_no_slots(lint_project):
+    project = lint_project({"eval/report.py": """\
+        class Table:
+            def __init__(self):
+                self.rows = []
+        """})
+    assert run(project) == []
+
+
+def test_every_hot_module_is_scoped():
+    assert hotpath.HOT_MODULES == \
+        ("sim/events.py", "dht/node.py", "core/keys.py")
+
+
+def test_per_instance_handler_dict(lint_project):
+    # The anti-pattern RPL041 exists for: a dict of bound methods built
+    # per instance (this is checked in *every* module, not only hot ones).
+    project = lint_project({"eval/x.py": """\
+        class Dispatcher:
+            def __init__(self):
+                self.handlers = {
+                    "a": self.on_a,
+                    "b": self.on_b,
+                }
+
+            def on_a(self, m):
+                pass
+
+            def on_b(self, m):
+                pass
+        """})
+    (finding,) = run(project)
+    assert finding.code == "RPL041"
+    assert finding.symbol == "__init__:handlers"
+
+
+def test_class_level_name_table_is_clean(lint_project):
+    # The approved shape: class-level kind -> method-name strings.
+    project = lint_project({"eval/x.py": """\
+        class Dispatcher:
+            _HANDLERS = {
+                "a": "on_a",
+                "b": "on_b",
+            }
+
+            def dispatch(self, kind, m):
+                return getattr(self, self._HANDLERS[kind])(m)
+
+            def on_a(self, m):
+                pass
+
+            def on_b(self, m):
+                pass
+        """})
+    assert run(project) == []
+
+
+def test_small_value_dicts_are_not_flagged(lint_project):
+    # A dict holding plain values (not bound methods) is config, not
+    # dispatch; single-entry dicts are below the radar too.
+    project = lint_project({"eval/x.py": """\
+        class Config:
+            def __init__(self):
+                self.limits = {"a": 1, "b": 2}
+                self.single = {"only": self.close}
+
+            def close(self):
+                pass
+        """})
+    assert run(project) == []

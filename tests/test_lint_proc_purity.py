@@ -1,0 +1,156 @@
+"""RPL02x proc-purity checker: spawned generators never block."""
+
+from __future__ import annotations
+
+from repro.lint.checkers import proc_purity
+
+
+def run(project):
+    return list(proc_purity.check(project))
+
+
+SPAWN_SITE = """\
+    def start(sim):
+        sim.spawn(worker(sim))
+    """
+
+
+def test_blocking_call_in_spawned_proc(lint_project):
+    project = lint_project({"core/x.py": """\
+        import time
+
+        def start(sim):
+            sim.spawn(worker(sim))
+
+        def worker(sim):
+            time.sleep(0.1)
+            yield 1.0
+        """})
+    (finding,) = run(project)
+    assert finding.code == "RPL020"
+    assert finding.symbol == "worker:time.sleep"
+
+
+def test_open_and_socket_flagged(lint_project):
+    project = lint_project({"core/x.py": """\
+        import socket
+
+        def start(sim):
+            sim.spawn(worker(sim))
+
+        def worker(sim):
+            handle = open("/tmp/x")
+            sock = socket.socket()
+            yield 1.0
+        """})
+    assert sorted(f.symbol for f in run(project)) == \
+        ["worker:open", "worker:socket.socket"]
+
+
+def test_unspawned_generator_is_not_a_proc(lint_project):
+    # Plain generators (iterators, parsers...) may block freely.
+    project = lint_project({"core/x.py": """\
+        def lines(path):
+            handle = open(path)
+            yield from handle
+        """})
+    assert run(project) == []
+
+
+def test_yield_from_delegation_closes_over_helpers(lint_project):
+    project = lint_project({"core/x.py": """\
+        import time
+
+        def start(sim):
+            sim.spawn(outer(sim))
+
+        def outer(sim):
+            yield 1.0
+            yield from inner(sim)
+
+        def inner(sim):
+            time.sleep(5)
+            yield 2.0
+        """})
+    (finding,) = run(project)
+    assert finding.symbol == "inner:time.sleep"
+
+
+def test_proc_constructor_counts_as_spawn(lint_project):
+    project = lint_project({"core/x.py": """\
+        import time
+        from repro.sim.procs import Proc
+
+        def start(sim):
+            return Proc(sim, worker(sim))
+
+        def worker(sim):
+            time.sleep(1)
+            yield None
+        """})
+    assert [f.code for f in run(project)] == ["RPL020"]
+
+
+def test_illegal_yield_types(lint_project):
+    project = lint_project({"core/x.py": """\
+        def start(sim):
+            sim.spawn(worker(sim))
+
+        def worker(sim):
+            yield "a string"
+            yield [1, 2]
+            yield {"k": 1}
+        """})
+    found = run(project)
+    assert [f.code for f in found] == ["RPL021"] * 3
+    assert {f.symbol for f in found} == \
+        {"worker:str", "worker:list", "worker:dict"}
+
+
+def test_legal_yields_are_clean(lint_project):
+    project = lint_project({"core/x.py": """\
+        def start(sim, transport):
+            sim.spawn(worker(sim, transport))
+
+        def worker(sim, transport):
+            yield 0.5
+            yield None
+            reply = yield transport.request_async(1, 2)
+            yield from helper(sim)
+
+        def helper(sim):
+            yield 1
+        """})
+    assert run(project) == []
+
+
+def test_negative_literal_sleep(lint_project):
+    project = lint_project({"core/x.py": """\
+        def start(sim):
+            sim.spawn(worker(sim))
+
+        def worker(sim):
+            yield -1.0
+        """})
+    (finding,) = run(project)
+    assert finding.code == "RPL022"
+
+
+def test_nested_function_yields_not_attributed_to_proc(lint_project):
+    # A generator *defined inside* a proc is its own scope; its yields
+    # must not make the enclosing non-generator a proc, nor leak
+    # violations into the proc's report.
+    project = lint_project({"core/x.py": """\
+        def start(sim):
+            sim.spawn(worker(sim))
+
+        def worker(sim):
+            def gen():
+                yield "inner string"
+            consume(gen())
+            yield 1.0
+
+        def consume(it):
+            list(it)
+        """})
+    assert run(project) == []

@@ -1,0 +1,61 @@
+"""Tier-1 gate: the repo itself lints clean against its baseline.
+
+This is the test that makes the lint rules load-bearing: a determinism
+leak, an upward import, a drifted wire schema or a flipped config
+default introduced anywhere in ``src/``, ``benchmarks/`` or
+``examples/`` fails the suite, not just the (optional) CI lint job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import compare_with_baseline, load_baseline, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE = REPO_ROOT / "lint_baseline.json"
+SCAN = [REPO_ROOT / name for name in ("src", "benchmarks", "examples")]
+
+
+@pytest.fixture(scope="module")
+def repo_findings():
+    paths = [path for path in SCAN if path.is_dir()]
+    assert paths, "repo layout changed: nothing to lint"
+    return run_lint(paths, project_root=REPO_ROOT)
+
+
+def test_repo_matches_baseline_exactly(repo_findings):
+    baseline = load_baseline(BASELINE)
+    new, stale = compare_with_baseline(repo_findings, baseline)
+    assert not new, "new lint findings:\n" + "\n".join(
+        f"  {f.location()}: {f.code} {f.message}" for f in new)
+    assert not stale, "stale baseline entries (remove them):\n" + \
+        "\n".join(f"  {path} {code} {symbol}"
+                  for path, code, symbol in stale)
+
+
+def test_determinism_baseline_is_empty(repo_findings):
+    # Hard acceptance bar: no grandfathered nondeterminism, anywhere.
+    leaks = [f for f in repo_findings
+             if f.code in ("RPL010", "RPL011", "RPL012")]
+    assert leaks == []
+    baseline = load_baseline(BASELINE)
+    assert not any(code in ("RPL010", "RPL011", "RPL012")
+                   for _path, code, _symbol in baseline)
+
+
+def test_layering_baseline_is_empty(repo_findings):
+    # Hard acceptance bar: the import DAG holds with no exceptions.
+    upward = [f for f in repo_findings if f.code in ("RPL050", "RPL051")]
+    assert upward == []
+    baseline = load_baseline(BASELINE)
+    assert not any(code in ("RPL050", "RPL051")
+                   for _path, code, _symbol in baseline)
+
+
+def test_baseline_file_is_committed_and_empty():
+    # The goal state reached by this change: zero grandfathered debt.
+    assert BASELINE.exists()
+    assert load_baseline(BASELINE) == {}

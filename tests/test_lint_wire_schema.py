@@ -1,0 +1,251 @@
+"""RPL03x wire-schema checker + the golden schema-extraction test."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.checkers import wire_schema
+from repro.lint.source import Project
+from repro.net import protocol, wire
+from repro.core import replication
+from repro.core.peer import AlvisPeer
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run(project):
+    return list(wire_schema.check(project))
+
+
+def by_code(findings, code):
+    return [f for f in findings if f.code == code]
+
+
+# ----------------------------------------------------------------------
+# Golden test: the statically-extracted schema IS the live codec schema.
+# ----------------------------------------------------------------------
+
+def test_extracted_schema_matches_live_codec():
+    project = Project.load([REPO_ROOT / "src"], REPO_ROOT)
+    assert wire_schema.extracted_message_kinds(project) == \
+        wire.message_kinds()
+
+
+def test_message_kinds_covers_every_protocol_constant():
+    kinds = set(wire.message_kinds())
+    for name in protocol.__all__:
+        value = getattr(protocol, name)
+        if not isinstance(value, str):
+            continue  # grouping tuples (INDEXING_KINDS, ...), not kinds
+        assert value in kinds or value in wire_schema.SIM_ONLY_KINDS, \
+            f"{name} has neither a wire schema nor a sim-only declaration"
+
+
+# ----------------------------------------------------------------------
+# Regression: the ReplicaPush literal drift (fixed in this change).
+# ----------------------------------------------------------------------
+
+def test_replica_push_has_one_definition():
+    # Before the fix, core/replication.py defined its own
+    # REPLICA_PUSH = "ReplicaPush" and core/peer.py keyed the handler
+    # by a string literal — three independent spellings of one kind.
+    assert replication.REPLICA_PUSH is protocol.REPLICA_PUSH
+    assert protocol.REPLICA_PUSH in AlvisPeer._HANDLER_NAMES
+
+
+def test_literal_handler_key_is_flagged(lint_project):
+    # The exact pre-fix shape of core/peer.py.
+    project = lint_project({
+        "net/protocol.py": 'REPLICA_PUSH = "ReplicaPush"\n',
+        "net/wire.py": """\
+            _SCHEMAS = {}
+            _KIND_ORDER = ()
+            """,
+        "core/peer.py": """\
+            class AlvisPeer:
+                _HANDLER_NAMES = {
+                    "ReplicaPush": "_on_replica_push",
+                }
+
+                def _on_replica_push(self, message):
+                    pass
+            """})
+    flagged = by_code(run(project), "RPL032")
+    assert any(f.symbol == "ReplicaPush" for f in flagged)
+
+
+# ----------------------------------------------------------------------
+# Fixture tests per code.
+# ----------------------------------------------------------------------
+
+# A minimal consistent pair used as the base of the drift fixtures; the
+# checker's SIM_ONLY_KINDS names real repo kinds, so fixture protocols
+# declare them too to keep RPL036/RPL031 noise out of unrelated tests.
+SIM_ONLY_DECLS = "\n".join(
+    f'{kind.upper()} = "{kind}"' for kind in sorted(
+        wire_schema.SIM_ONLY_KINDS)) + "\n"
+
+CONSISTENT_WIRE = """\
+    from repro.net import protocol
+
+    _SCHEMAS = {
+        protocol.LOOKUP: {"key": None, "hops": None},
+        protocol.PROBE: {"key": None},
+    }
+
+    _KIND_ORDER = (protocol.LOOKUP, protocol.PROBE)
+    """
+
+
+def make(lint_project, wire_text=CONSISTENT_WIRE, peer_text=None,
+         extra=None):
+    files = {
+        "net/protocol.py":
+            'LOOKUP = "Lookup"\nPROBE = "Probe"\n' + SIM_ONLY_DECLS,
+        "net/wire.py": wire_text,
+    }
+    if peer_text is not None:
+        files["core/peer.py"] = peer_text
+    if extra:
+        files.update(extra)
+    return lint_project(files)
+
+
+def test_consistent_fixture_is_clean(lint_project):
+    assert run(make(lint_project)) == []
+
+
+def test_schema_without_tag_is_rpl030(lint_project):
+    project = make(lint_project, wire_text="""\
+        from repro.net import protocol
+
+        _SCHEMAS = {
+            protocol.LOOKUP: {"key": None},
+            protocol.PROBE: {"key": None},
+        }
+
+        _KIND_ORDER = (protocol.LOOKUP,)
+        """)
+    (finding,) = by_code(run(project), "RPL030")
+    assert finding.symbol == "Probe"
+
+
+def test_tag_without_schema_and_duplicate_tag_are_rpl030(lint_project):
+    project = make(lint_project, wire_text="""\
+        from repro.net import protocol
+
+        _SCHEMAS = {
+            protocol.LOOKUP: {"key": None},
+        }
+
+        _KIND_ORDER = (protocol.LOOKUP, protocol.LOOKUP, protocol.PROBE)
+        """)
+    symbols = sorted(f.symbol for f in by_code(run(project), "RPL030"))
+    assert symbols == ["Lookup", "Probe"]
+
+
+def test_kind_without_schema_or_declaration_is_rpl031(lint_project):
+    project = lint_project({
+        "net/protocol.py": 'LOOKUP = "Lookup"\nNEW = "NewKind"\n'
+                           + SIM_ONLY_DECLS,
+        "net/wire.py": """\
+            from repro.net import protocol
+
+            _SCHEMAS = {protocol.LOOKUP: {"key": None}}
+            _KIND_ORDER = (protocol.LOOKUP,)
+            """})
+    (finding,) = by_code(run(project), "RPL031")
+    assert finding.symbol == "NewKind"
+
+
+def test_handler_naming_missing_method_is_rpl033(lint_project):
+    project = make(lint_project, peer_text="""\
+        from repro.net import protocol
+
+        class AlvisPeer:
+            _HANDLER_NAMES = {
+                protocol.LOOKUP: "_on_lookup",
+            }
+        """)
+    (finding,) = by_code(run(project), "RPL033")
+    assert finding.symbol == "_on_lookup"
+
+
+def test_handled_kind_without_schema_is_rpl034(lint_project):
+    project = lint_project({
+        "net/protocol.py": 'LOOKUP = "Lookup"\nEXTRA = "Extra"\n'
+                           + SIM_ONLY_DECLS,
+        "net/wire.py": """\
+            from repro.net import protocol
+
+            _SCHEMAS = {protocol.LOOKUP: {"key": None}}
+            _KIND_ORDER = (protocol.LOOKUP,)
+            """,
+        "core/peer.py": """\
+            from repro.net import protocol
+
+            class AlvisPeer:
+                _HANDLER_NAMES = {
+                    protocol.EXTRA: "_on_extra",
+                }
+
+                def _on_extra(self, message):
+                    pass
+            """})
+    found = run(project)
+    assert [f.symbol for f in by_code(found, "RPL034")] == ["Extra"]
+    # ... and EXTRA also lacks a schema entirely:
+    assert [f.symbol for f in by_code(found, "RPL031")] == ["Extra"]
+
+
+def test_payload_field_outside_schema_is_rpl035(lint_project):
+    project = make(lint_project, extra={"core/x.py": """\
+        from repro.net import protocol
+        from repro.net.message import Message
+
+        def build(src, dst):
+            good = Message(src, dst, protocol.LOOKUP,
+                           {"key": "k", "hops": 3})
+            bad = Message(src, dst, protocol.LOOKUP,
+                          {"key": "k", "ttl": 9})
+            return good, bad
+
+        def respond(message):
+            return message.reply(protocol.PROBE, {"keyz": 1})
+        """})
+    symbols = sorted(f.symbol for f in by_code(run(project), "RPL035"))
+    assert symbols == ["Lookup.ttl", "Probe.keyz"]
+
+
+def test_sim_only_kind_payloads_are_not_checked(lint_project):
+    # Sim-only kinds have no field table; arbitrary payloads are fine.
+    project = make(lint_project, extra={"core/x.py": """\
+        from repro.net import protocol
+        from repro.net.message import Message
+
+        def build(src, dst):
+            return Message(src, dst, protocol.REPLICAPUSH,
+                           {"anything": 1})
+        """})
+    assert by_code(run(project), "RPL035") == []
+
+
+def test_stale_sim_only_declaration_is_rpl036(lint_project):
+    # Fixture protocol omits the sim-only kinds entirely -> every
+    # declaration is stale ("not a protocol kind").
+    project = lint_project({
+        "net/protocol.py": 'LOOKUP = "Lookup"\n',
+        "net/wire.py": """\
+            from repro.net import protocol
+
+            _SCHEMAS = {protocol.LOOKUP: {"key": None}}
+            _KIND_ORDER = (protocol.LOOKUP,)
+            """})
+    stale = by_code(run(project), "RPL036")
+    assert sorted(f.symbol for f in stale) == \
+        sorted(wire_schema.SIM_ONLY_KINDS)
+
+
+def test_checker_skips_projects_without_the_codec(lint_project):
+    project = lint_project({"core/x.py": "VALUE = 1\n"})
+    assert run(project) == []
