@@ -258,6 +258,34 @@ def main() -> None:
     print("\nrepro lint on a leaky module:")
     print("  " + format_findings(findings).replace("\n", "\n  "))
 
+    # 11. Adversarial scenarios.  The atlas scripts whole timelines —
+    #     churn storms, flash crowds, partitions, graceful drains, slow
+    #     minorities — as declarative specs with pass criteria, run
+    #     deterministically on the event kernel::
+    #
+    #         PYTHONPATH=src python -m repro scenario list
+    #         PYTHONPATH=src python -m repro scenario run churn_storm \
+    #             --seed 0 --json -
+    #
+    #     Exit status 0 means every declared criterion held; the
+    #     ScenarioReport carries recall@k against a fault-free oracle,
+    #     latency percentiles, goodput and handover bytes.  The same
+    #     surface is a library:
+    from repro.scenarios import ScenarioRunner, get_scenario
+
+    print("\nscenario atlas (churn_storm at demo size):")
+    storm = get_scenario("churn_storm").scaled(num_peers=12, queries=12)
+    report = ScenarioRunner(storm, seed=0).run()
+    print(f"  {report.scenario}: "
+          f"{'PASS' if report.passed else 'FAIL'} — "
+          f"recall@{report.k} {report.recall_at_k:.3f}, "
+          f"p99 {report.latency_p99:.3f}s, "
+          f"{report.queries_completed}/{report.queries_submitted} "
+          f"queries through {report.crashes} crashes and "
+          f"{report.joins} joins")
+    for criterion in report.criteria:
+        print(f"    {criterion}")
+
 
 if __name__ == "__main__":
     main()

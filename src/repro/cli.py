@@ -85,6 +85,34 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the repo's AST invariant checkers "
                      "(determinism, wire-schema sync, layering, ...)")
     add_lint_arguments(lint)
+
+    scenario = subparsers.add_parser(
+        "scenario", help="run a named adversarial scenario from the "
+                         "atlas (churn storms, flash crowds, "
+                         "partitions, ...)")
+    scenario.add_argument("action", choices=("run", "list"),
+                          help="'run' a named scenario or 'list' the "
+                               "atlas")
+    scenario.add_argument("name", nargs="?", default=None,
+                          help="scenario name (see `repro scenario "
+                               "list`)")
+    # Distinct dests so the scenario spec's own sizing wins unless the
+    # user explicitly overrides it after the subcommand.
+    scenario.add_argument("--seed", type=int, default=None,
+                          dest="scenario_seed",
+                          help="deterministic seed (default: the "
+                               "global --seed)")
+    scenario.add_argument("--peers", type=int, default=None,
+                          dest="scenario_peers",
+                          help="override the scenario's network size")
+    scenario.add_argument("--queries", type=int, default=None,
+                          dest="scenario_queries",
+                          help="override the scenario's base query "
+                               "count")
+    scenario.add_argument("--json", metavar="PATH", default=None,
+                          dest="scenario_json",
+                          help="write the ScenarioReport JSON to PATH "
+                               "('-' for stdout)")
     return parser
 
 
@@ -207,6 +235,44 @@ def _command_cluster(args, out) -> int:
     return 0
 
 
+def _command_scenario(args, out) -> int:
+    # Imported lazily: the scenario layer is only needed here.
+    from repro.scenarios import ScenarioRunner, get_scenario, \
+        scenario_names
+    from repro.scenarios.registry import SCENARIOS
+
+    if args.action == "list":
+        rows = [[name,
+                 str(SCENARIOS[name].num_peers),
+                 str(SCENARIOS[name].workload.queries),
+                 SCENARIOS[name].description]
+                for name in scenario_names()]
+        print(format_table(["scenario", "peers", "queries",
+                            "description"], rows), file=out)
+        return 0
+    if args.name is None:
+        print("error: `repro scenario run` needs a scenario name "
+              "(see `repro scenario list`)", file=sys.stderr)
+        return 2
+    try:
+        scenario = get_scenario(args.name)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    scenario = scenario.scaled(num_peers=args.scenario_peers,
+                               queries=args.scenario_queries)
+    seed = (args.scenario_seed if args.scenario_seed is not None
+            else args.seed)
+    report = ScenarioRunner(scenario, seed=seed).run()
+    print(report.render(), file=out)
+    if args.scenario_json == "-":
+        print(report.to_json(), file=out)
+    elif args.scenario_json is not None:
+        with open(args.scenario_json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+    return 0 if report.passed else 1
+
+
 def _all_documents(network):
     for peer in network.peers():
         yield from peer.engine.store
@@ -218,6 +284,7 @@ _COMMANDS = {
     "monitor": _command_monitor,
     "cluster": _command_cluster,
     "lint": run_lint_command,
+    "scenario": _command_scenario,
 }
 
 

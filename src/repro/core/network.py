@@ -37,8 +37,11 @@ from repro.core.hdk import HDKIndexer, HDKStats
 from repro.core.keys import Key
 from repro.core.peer import AlvisPeer
 from repro.core.ranking import RankedDocument
+from repro.core.faults import FaultInjector
 from repro.core.retrieval import QueryTrace, RetrievalComponent
 from repro.core.runtime import AsyncQueryRuntime, QueryJob
+from repro.core.workload import (PoissonArrivals, RoundRobinOrigins,
+                                 UniformOrigins, Workload)
 from repro.dht.churn import ChurnProcess
 from repro.dht.hashing import hash_string
 from repro.dht.ring import DHTRing
@@ -139,6 +142,10 @@ class AlvisNetwork:
         #: RNG stream, so a second process never replays the first one's
         #: join/leave sequence.
         self._churn_streams = 0
+        #: The unified membership-fault surface: ``faults.churn()``,
+        #: ``faults.crash()``, ``faults.graceful_depart()``,
+        #: ``faults.partition()``/``heal()``, ``faults.degrade()``.
+        self.faults = FaultInjector(self)
 
     # ------------------------------------------------------------------
     # Membership
@@ -487,52 +494,77 @@ class AlvisNetwork:
         """Run one multi-keyword query from peer ``origin``."""
         return self.retrieval.query(origin, query, refine=refine)
 
+    def submit_workload(self, workload: Workload,
+                        refine: Optional[bool] = None,
+                        start: float = 0.0) -> List[QueryJob]:
+        """Schedule a :class:`~repro.core.workload.Workload` without
+        driving the simulator.
+
+        Arrivals are compiled immediately — two derived RNG streams per
+        call, one for interarrival gaps and one for origin selection, so
+        the arrival schedule is identical whatever the origin policy
+        draws — and each submission is scheduled ``start`` + its arrival
+        time from now.  The returned list fills with one
+        :class:`QueryJob` per query *as the simulator runs*; callers
+        overlap several workloads (scenario timelines) on one
+        ``simulator.run()``.
+        """
+        if not self.config.async_queries:
+            raise ValueError(
+                "run_queries requires config.async_queries; the "
+                "synchronous path cannot overlap queries")
+        stream = self._workload_streams
+        self._workload_streams += 1
+        arrival_rng = make_rng(self.seed, "workload", stream, "arrivals")
+        origin_rng = make_rng(self.seed, "workload", stream, "origins")
+        submissions = workload.compile(arrival_rng, origin_rng,
+                                       self.peer_ids(), start=start)
+        jobs: List[QueryJob] = []
+        for submission in submissions:
+            self.simulator.schedule(
+                submission.at,
+                lambda origin=submission.origin, query=submission.query:
+                    jobs.append(self.runtime.submit(origin, query,
+                                                    refine=refine)))
+        return jobs
+
+    def run_workload(self, workload: Workload,
+                     refine: Optional[bool] = None) -> List[QueryJob]:
+        """Open-workload driver: run a declarative :class:`Workload`.
+
+        Requires ``config.async_queries``.  Submits every query of the
+        workload (arrival process + origin policy, see
+        :mod:`repro.core.workload`) and drives the simulator until all
+        of them completed.  Returns the jobs in arrival order — each
+        carries its results and a trace whose ``latency`` is the
+        clock-measured response time under the overlapping load.
+        """
+        jobs = self.submit_workload(workload, refine=refine)
+        self.simulator.run()
+        return jobs
+
     def run_queries(self, queries: Sequence[Union[str, Sequence[str]]],
                     origins: Optional[Sequence[int]] = None,
                     arrival_rate: float = 50.0,
                     refine: Optional[bool] = None) -> List[QueryJob]:
         """Open-workload driver: Poisson arrivals of concurrent queries.
 
-        Requires ``config.async_queries``.  Each query of ``queries`` is
-        submitted to the async runtime after an exponential interarrival
-        gap (``arrival_rate`` arrivals per virtual second, a Poisson
-        process) from an origin peer drawn from ``origins`` round-robin
-        (or uniformly from all peers when omitted); the simulator then
-        runs until every query completed.  Returns the jobs in arrival
-        order — each carries its results and a trace whose ``latency``
-        is the clock-measured response time under the overlapping load.
-
-        The arrival process draws from its own derived RNG stream, so
-        repeated calls (and other subsystems) stay deterministic.
+        Compatibility shim over :meth:`run_workload`: builds a
+        :class:`~repro.core.workload.Workload` with
+        :class:`~repro.core.workload.PoissonArrivals` at
+        ``arrival_rate`` and a
+        :class:`~repro.core.workload.RoundRobinOrigins` policy over
+        ``origins`` (or :class:`~repro.core.workload.UniformOrigins`
+        when omitted).  ``tests/test_core_workload.py`` pins the two
+        call forms trace-identical.
         """
-        if not self.config.async_queries:
-            raise ValueError(
-                "run_queries requires config.async_queries; the "
-                "synchronous path cannot overlap queries")
-        if arrival_rate <= 0:
-            raise ValueError(
-                f"arrival_rate must be positive, got {arrival_rate}")
-        rng = make_rng(self.seed, "workload", self._workload_streams)
-        self._workload_streams += 1
-        peer_ids = self.peer_ids()
-        submissions = []
-        arrival = 0.0
-        for index, query in enumerate(queries):
-            arrival += rng.expovariate(arrival_rate)
-            if origins is not None:
-                origin = origins[index % len(origins)]
-            else:
-                origin = rng.choice(peer_ids)
-            submissions.append((arrival, origin, query))
-        jobs: List[QueryJob] = []
-        for delay, origin, query in submissions:
-            self.simulator.schedule(
-                delay,
-                lambda origin=origin, query=query:
-                    jobs.append(self.runtime.submit(origin, query,
-                                                    refine=refine)))
-        self.simulator.run()
-        return jobs
+        origin_policy = (RoundRobinOrigins(tuple(origins))
+                         if origins is not None else UniformOrigins())
+        return self.run_workload(
+            Workload(queries=tuple(queries),
+                     arrival=PoissonArrivals(arrival_rate),
+                     origins=origin_policy),
+            refine=refine)
 
     def fetch_document(self, origin: int, doc_id: int,
                        credentials: Optional[Tuple[str, str]] = None,
@@ -556,43 +588,21 @@ class AlvisNetwork:
     def churn(self) -> ChurnProcess:
         """A churn process wired for index handover on this network.
 
-        Not supported together with ``virtual_nodes > 1`` (handover of a
-        departing peer would need to vacate several ring positions
-        atomically, which this implementation does not model).
+        Delegates to :meth:`FaultInjector.churn` (``self.faults``) — the
+        unified membership-fault surface, which also exposes targeted
+        crashes, graceful departures, partitions and peer degradation.
         """
-        if self.virtual_nodes > 1:
-            raise NotImplementedError(
-                "churn is not supported with virtual_nodes > 1")
-        stream = self._churn_streams
-        self._churn_streams += 1
-        # The first process keeps the historical "churn" label (seed
-        # compatibility); later ones get distinct derived streams instead
-        # of replaying the same join/leave sequence.
-        labels = ("churn",) if stream == 0 else ("churn", stream)
-        return ChurnProcess(self.ring, make_rng(self.seed, *labels),
-                            on_handover=self._handover)
+        return self.faults.churn()
 
     def fail_peer(self, peer_id: int) -> None:
         """Crash a peer: no handover, no goodbye.
 
-        Its index fragment, replicas and documents vanish with it; the
-        ring and routing tables converge to the survivors.  Use
-        :class:`repro.core.replication.ReplicationManager` beforehand to
-        make the global index survive (see
-        ``tests/test_core_replication.py``).
+        Delegates to :meth:`FaultInjector.crash` (``self.faults``); see
+        there for the failure semantics and
+        :class:`repro.core.replication.ReplicationManager` for making
+        the global index survive crashes.
         """
-        if peer_id not in self._peers:
-            raise KeyError(f"peer {peer_id} not present")
-        if self.num_peers <= 1:
-            raise ValueError("cannot crash the last peer")
-        if self.virtual_nodes > 1:
-            raise NotImplementedError(
-                "fail_peer is not supported with virtual_nodes > 1")
-        self.ring.remove_node(peer_id)
-        self.ring.maintain()
-        self.transport.unregister(peer_id)
-        del self._peers[peer_id]
-        self.note_index_update()
+        self.faults.crash(peer_id)
 
     def _handover(self, from_peer: int, to_peer: int,
                   range_lo: int, range_hi: int) -> None:

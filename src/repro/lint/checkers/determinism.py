@@ -7,7 +7,8 @@ global/unseeded RNG.  Annotations like ``rng: random.Random`` and seeded
 constructions like ``random.Random(0)`` are fine; the checker flags
 *calls* that reach nondeterministic state, not mentions of the modules.
 
-Scope: ``sim/``, ``core/``, ``dht/``, ``ir/`` and ``net/`` inside the
+Scope: ``sim/``, ``core/``, ``dht/``, ``ir/``, ``net/`` and
+``scenarios/`` inside the
 repro package, with an explicit allowlist for the real-time edges that
 *must* touch wall clocks and sockets (``net/udp.py``, ``cluster/``,
 ``util/process.py`` — the latter two fall outside the scope prefixes
@@ -26,7 +27,7 @@ from repro.lint.source import Project, SourceFile
 NAME = "determinism"
 
 #: Module prefixes (relative to the repro package) the rules apply to.
-SCOPE_PREFIXES = ("sim/", "core/", "dht/", "ir/", "net/")
+SCOPE_PREFIXES = ("sim/", "core/", "dht/", "ir/", "net/", "scenarios/")
 
 #: Carve-outs: real-time / process-boundary modules.
 ALLOWLIST_PREFIXES = ("net/udp.py", "cluster/", "util/process.py")

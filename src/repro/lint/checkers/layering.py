@@ -43,6 +43,7 @@ LAYER_RANKS = {
     "baselines": 7,
     "eval": 7,
     "cluster": 7,
+    "scenarios": 7,
     "cli": 8,
     "__main__": 9,
     "__init__": 9,

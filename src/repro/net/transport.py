@@ -51,7 +51,7 @@ import collections
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Optional, Protocol, Tuple
+from typing import Callable, Deque, Dict, Mapping, Optional, Protocol, Tuple
 
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
@@ -268,6 +268,13 @@ class SimTransport:
         self._service_capacity = 0
         self._service_reject_cost = 0.0
         self._service_queues: Dict[int, _ServiceQueue] = {}
+        #: Heterogeneity: per-endpoint service-rate overrides (slow or
+        #: fast minorities) on top of the uniform configured rate.
+        self._service_rate_overrides: Dict[int, float] = {}
+        #: Active network partition: endpoint id -> group tag; ``None``
+        #: means fully connected.  Endpoints absent from the mapping are
+        #: in the implicit group ``0``.
+        self._partition_of: Optional[Dict[int, int]] = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -316,6 +323,42 @@ class SimTransport:
         self.msgs_in = {peer_id: 0 for peer_id in self._endpoints}
 
     # ------------------------------------------------------------------
+    # Network partitions (fault injection)
+    # ------------------------------------------------------------------
+
+    def set_partition(self, groups: Mapping[int, int]) -> None:
+        """Partition the network: ``groups`` maps endpoint ids to group
+        tags, and any message whose source and destination carry
+        different tags is dropped in flight.
+
+        Endpoints absent from the mapping are in the implicit group
+        ``0`` (so a single explicit group splits it from the rest, and
+        peers joining mid-partition land on the majority side).  Failure
+        surfacing matches churn: synchronous :meth:`request` raises
+        :class:`DeliveryError`, async delivery invokes ``on_drop`` — and
+        the reply leg is checked too, so a partition installed while a
+        reply is in flight drops it.  Replaces any previous partition;
+        :meth:`clear_partition` heals.
+        """
+        self._partition_of = dict(groups)
+
+    def clear_partition(self) -> None:
+        """Heal the network: resume cross-group delivery."""
+        self._partition_of = None
+
+    @property
+    def partition_active(self) -> bool:
+        """True while a partition installed by :meth:`set_partition`
+        is in effect."""
+        return self._partition_of is not None
+
+    def _partitioned(self, src: int, dst: int) -> bool:
+        groups = self._partition_of
+        if groups is None:
+            return False
+        return groups.get(src, 0) != groups.get(dst, 0)
+
+    # ------------------------------------------------------------------
     # In-flight tracking (async requests)
     # ------------------------------------------------------------------
 
@@ -356,6 +399,35 @@ class SimTransport:
         self._service_capacity = queue_capacity
         self._service_reject_cost = reject_cost
         self._service_queues = {}
+        self._service_rate_overrides = {}
+
+    def set_service_rate(self, peer_id: int, service_rate: float) -> None:
+        """Override one endpoint's service rate (peer heterogeneity).
+
+        Requires the service model to be active
+        (:meth:`configure_service_model`); the override survives until
+        the model is reconfigured.  An existing queue is re-rated in
+        place — in-service tasks keep their already-scheduled completion
+        time, later ones are served at the new rate.
+        """
+        if self._service_rate <= 0:
+            raise ValueError(
+                "set_service_rate requires an active service model "
+                "(configure_service_model first)")
+        if service_rate <= 0:
+            raise ValueError(
+                f"service_rate must be positive, got {service_rate}")
+        self._service_rate_overrides[peer_id] = service_rate
+        queue = self._service_queues.get(peer_id)
+        if queue is not None:
+            queue.rate = service_rate
+
+    def service_rate_of(self, peer_id: int) -> float:
+        """The effective service rate for ``peer_id`` (0 = model off)."""
+        if self._service_rate <= 0:
+            return 0.0
+        return self._service_rate_overrides.get(peer_id,
+                                                self._service_rate)
 
     @property
     def service_model_active(self) -> bool:
@@ -367,7 +439,9 @@ class SimTransport:
             return None
         queue = self._service_queues.get(peer_id)
         if queue is None:
-            queue = _ServiceQueue(self.simulator, self._service_rate,
+            queue = _ServiceQueue(self.simulator,
+                                  self._service_rate_overrides.get(
+                                      peer_id, self._service_rate),
                                   self._service_capacity,
                                   self._service_reject_cost)
             self._service_queues[peer_id] = queue
@@ -409,6 +483,10 @@ class SimTransport:
         if endpoint is None:
             raise DeliveryError(
                 f"no endpoint registered for peer {message.dst}")
+        if self._partitioned(message.src, message.dst):
+            raise DeliveryError(
+                f"peer {message.dst} unreachable from {message.src}: "
+                f"network partition")
         self._account(message)
         elapsed = self.latency.delay(self.rng, message.src, message.dst,
                                      message.size_bytes())
@@ -468,7 +546,8 @@ class SimTransport:
                                    message.size_bytes())
 
         def deliver_reply(reply: Message) -> None:
-            if reply.dst not in self._endpoints:
+            if (reply.dst not in self._endpoints
+                    or self._partitioned(reply.src, reply.dst)):
                 if on_drop is not None:
                     on_drop(message)
                 return
@@ -501,7 +580,8 @@ class SimTransport:
                                     lambda: on_overflow(message))
 
         def deliver() -> None:
-            if message.dst not in self._endpoints:
+            if (message.dst not in self._endpoints
+                    or self._partitioned(message.src, message.dst)):
                 if on_drop is not None:
                     on_drop(message)
                 return

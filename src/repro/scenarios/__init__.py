@@ -1,0 +1,41 @@
+"""The scenario atlas: declarative adversarial workloads.
+
+A :class:`~repro.scenarios.spec.Scenario` scripts a timeline of typed
+membership/load events (join waves, crashes, graceful drains,
+partitions, flash crowds, slow minorities) against an
+:class:`~repro.core.network.AlvisNetwork`, paired with a declarative
+:class:`~repro.core.workload.Workload` and explicit
+:class:`~repro.scenarios.spec.PassCriteria`.  The
+:class:`~repro.scenarios.runner.ScenarioRunner` compiles the timeline
+onto the event kernel (one derived RNG stream per scripted process,
+deterministic under a fixed seed) and evaluates the criteria into a
+:class:`~repro.scenarios.report.ScenarioReport` — so every scenario in
+the :mod:`~repro.scenarios.registry` doubles as a regression gate
+(``repro scenario run <name>`` and ``benchmarks/bench_e17_scenarios.py``).
+"""
+
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.report import CriterionResult, ScenarioReport
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import (FlashCrowd, GracefulDeparture, Heal,
+                                  JoinWave, LeaveWave, Partition,
+                                  PassCriteria, Scenario, SlowPeers,
+                                  WorkloadSpec)
+
+__all__ = [
+    "CriterionResult",
+    "FlashCrowd",
+    "GracefulDeparture",
+    "Heal",
+    "JoinWave",
+    "LeaveWave",
+    "Partition",
+    "PassCriteria",
+    "Scenario",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "SlowPeers",
+    "WorkloadSpec",
+    "get_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,114 @@
+"""Structured scenario outcomes.
+
+A :class:`ScenarioReport` carries only virtual-clock-derived numbers —
+no wall clocks, no process state — so two runs of the same scenario at
+the same seed produce byte-identical JSON (the CLI determinism test
+pins this).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["CriterionResult", "ScenarioReport", "overlap_at_k"]
+
+
+def overlap_at_k(expected: Sequence[int], got: Sequence[int]) -> float:
+    """Fraction of the expected top-k found in the observed top-k.
+
+    The scenario layer's recall@k against the fault-free oracle run.
+    An empty oracle answer counts as full recall (nothing to find).
+    (Computed inline rather than via :mod:`repro.eval` — the scenarios
+    and eval segments share a layer rank, so neither imports the other.)
+    """
+    if not expected:
+        return 1.0
+    expected_set = set(expected)
+    return len(expected_set & set(got)) / len(expected_set)
+
+
+@dataclass
+class CriterionResult:
+    """One evaluated pass criterion."""
+
+    name: str           #: e.g. ``"recall_at_k"``
+    op: str             #: ``">="`` or ``"<="``
+    threshold: float
+    value: float
+    passed: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "op": self.op,
+                "threshold": self.threshold, "value": self.value,
+                "passed": self.passed}
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return (f"{verdict} {self.name}: {self.value:.4f} "
+                f"{self.op} {self.threshold:.4f}")
+
+
+@dataclass
+class ScenarioReport:
+    """Everything a scenario run measured, plus its verdict."""
+
+    scenario: str
+    seed: int
+    k: int                          #: top-k depth of the recall oracle
+    peers_start: int
+    peers_end: int
+    queries_submitted: int
+    queries_completed: int
+    dropped_probes: int             #: DROPPED probe outcomes across jobs
+    recall_at_k: float              #: mean overlap@k vs the oracle
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    makespan: float                 #: virtual seconds, start to drain
+    goodput_qps: float              #: completed queries per virtual second
+    bytes_total: int
+    messages_total: int
+    handover_bytes: int             #: ``IndexHandover`` traffic
+    joins: int
+    crashes: int
+    graceful_departures: int
+    partitions: int
+    degraded_peers: int
+    criteria: List[CriterionResult] = field(default_factory=list)
+    passed: bool = True
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = {name: value for name, value in self.__dict__.items()
+                   if name != "criteria"}
+        payload["criteria"] = [criterion.to_dict()
+                               for criterion in self.criteria]
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable summary (the CLI's default output)."""
+        lines = [
+            f"scenario {self.scenario} (seed {self.seed}) — "
+            f"{'PASS' if self.passed else 'FAIL'}",
+            f"  peers {self.peers_start} -> {self.peers_end}  "
+            f"[joins {self.joins}, crashes {self.crashes}, "
+            f"graceful {self.graceful_departures}, "
+            f"partitions {self.partitions}, "
+            f"degraded {self.degraded_peers}]",
+            f"  queries {self.queries_completed}/{self.queries_submitted} "
+            f"completed, {self.dropped_probes} dropped probes",
+            f"  recall@{self.k} {self.recall_at_k:.3f}  "
+            f"p50/p95/p99 {self.latency_p50:.4f}/"
+            f"{self.latency_p95:.4f}/{self.latency_p99:.4f} s",
+            f"  goodput {self.goodput_qps:.1f} q/s over "
+            f"{self.makespan:.3f} s  "
+            f"({self.bytes_total} bytes, {self.messages_total} msgs, "
+            f"{self.handover_bytes} handover bytes)",
+        ]
+        for criterion in self.criteria:
+            lines.append(f"  {criterion}")
+        return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Tests for the scenario atlas (``repro.scenarios``).
+
+The layer's contract: a named scenario is a *declarative* artifact — a
+timeline plus pass criteria — and running one is deterministic under a
+fixed seed, byte-identical reports included, through both the Python
+API and the ``repro scenario`` CLI.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import (PassCriteria, Scenario, ScenarioRunner,
+                             WorkloadSpec, get_scenario, scenario_names)
+from repro.scenarios.spec import (FlashCrowd, GracefulDeparture,
+                                  JoinWave, Partition, SlowPeers)
+
+EXPECTED_NAMES = ["baseline_poisson", "churn_storm", "flash_crowd",
+                  "graceful_drain", "partition_heal", "slow_minority"]
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_atlas_contents(self):
+        assert scenario_names() == EXPECTED_NAMES
+
+    def test_every_scenario_declares_criteria(self):
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            criteria = scenario.criteria
+            bounds = (criteria.min_recall_at_k, criteria.max_p99_latency,
+                      criteria.min_goodput_qps,
+                      criteria.max_handover_bytes)
+            assert any(bound is not None for bound in bounds), \
+                f"{name} declares no pass criteria"
+            assert scenario.description
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="baseline_poisson"):
+            get_scenario("nope")
+
+    def test_scaled_overrides(self):
+        scenario = get_scenario("churn_storm")
+        scaled = scenario.scaled(num_peers=24, queries=10)
+        assert scaled.num_peers == 24
+        assert scaled.workload.queries == 10
+        assert scaled.name == scenario.name
+        assert scaled.timeline == scenario.timeline
+        # None means "keep the spec's own sizing".
+        same = scenario.scaled()
+        assert same == scenario
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+
+class TestSpecValidation:
+    def test_event_counts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            JoinWave(at=0.1, count=0)
+        with pytest.raises(ValueError):
+            GracefulDeparture(at=0.1, count=-1)
+        with pytest.raises(ValueError):
+            FlashCrowd(at=0.1, queries=0, arrival_rate=100.0)
+
+    def test_partition_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            Partition(at=0.1, fraction=0.0)
+        with pytest.raises(ValueError):
+            Partition(at=0.1, fraction=1.0)
+
+    def test_slow_peers_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            SlowPeers(at=0.0, fraction=1.5)
+
+    def test_criteria_evaluation(self):
+        criteria = PassCriteria(min_recall_at_k=0.9,
+                                max_p99_latency=0.5)
+        results = criteria.evaluate(recall_at_k=0.95, latency_p99=0.7,
+                                    goodput_qps=10.0, handover_bytes=0,
+                                    completed_fraction=1.0)
+        by_name = {result.name: result for result in results}
+        assert by_name["recall_at_k"].passed
+        assert not by_name["p99_latency"].passed
+        assert "goodput_qps" not in by_name   # undeclared: not checked
+        assert "0.7000 <= 0.5000" in str(by_name["p99_latency"])
+
+
+# ----------------------------------------------------------------------
+# Running scenarios
+# ----------------------------------------------------------------------
+
+def run_small_churn(seed=0):
+    scenario = get_scenario("churn_storm").scaled(num_peers=12,
+                                                  queries=12)
+    return ScenarioRunner(scenario, seed=seed).run()
+
+
+class TestRunner:
+    def test_report_shape(self):
+        report = run_small_churn()
+        assert report.scenario == "churn_storm"
+        assert report.queries_submitted == 12
+        assert report.queries_completed == 12
+        assert report.crashes >= 1
+        assert report.joins >= 1
+        payload = report.to_dict()
+        assert payload["criteria"], "criteria missing from the dict form"
+        assert isinstance(report.render(), str)
+        assert "churn_storm" in report.render()
+        # The JSON form round-trips.
+        assert json.loads(report.to_json())["scenario"] == "churn_storm"
+
+    def test_identical_reports_across_runs(self):
+        first = run_small_churn()
+        second = run_small_churn()
+        assert first.to_json() == second.to_json()
+
+    def test_seed_changes_the_story(self):
+        assert run_small_churn(seed=0).to_json() != \
+            run_small_churn(seed=7).to_json()
+
+    def test_custom_scenario(self):
+        scenario = Scenario(
+            name="tiny", description="two-peer smoke",
+            num_peers=6, num_documents=30, vocabulary_size=600,
+            num_topics=3, pool_size=8,
+            workload=WorkloadSpec(queries=5, arrival_rate=50.0),
+            criteria=PassCriteria(min_recall_at_k=0.5))
+        report = ScenarioRunner(scenario, seed=3).run()
+        assert report.queries_completed == 5
+
+
+# ----------------------------------------------------------------------
+# The CLI surface
+# ----------------------------------------------------------------------
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_list(self):
+        code, text = run_cli(["scenario", "list"])
+        assert code == 0
+        for name in EXPECTED_NAMES:
+            assert name in text
+
+    def test_run_is_deterministic(self):
+        argv = ["scenario", "run", "churn_storm", "--seed", "0",
+                "--json", "-"]
+        code_a, text_a = run_cli(argv)
+        code_b, text_b = run_cli(argv)
+        assert code_a == code_b == 0     # churn_storm passes at seed 0
+        assert text_a == text_b
+
+    def test_run_scaled_down(self):
+        code, text = run_cli(["scenario", "run", "baseline_poisson",
+                              "--seed", "0", "--peers", "10",
+                              "--queries", "8"])
+        assert "baseline_poisson" in text
+        assert "8" in text
+
+    def test_unknown_scenario_exits_2(self):
+        code, _text = run_cli(["scenario", "run", "nope"])
+        assert code == 2
+
+    def test_run_without_name_exits_2(self):
+        code, _text = run_cli(["scenario", "run"])
+        assert code == 2
+
+    def test_json_to_file(self, tmp_path):
+        target = tmp_path / "report.json"
+        code, _text = run_cli(["scenario", "run", "baseline_poisson",
+                               "--seed", "0", "--peers", "10",
+                               "--queries", "8", "--json",
+                               str(target)])
+        payload = json.loads(target.read_text())
+        assert payload["scenario"] == "baseline_poisson"
+        assert payload["queries_submitted"] == 8
