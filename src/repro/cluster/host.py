@@ -20,13 +20,12 @@ Peer ownership is positional — ``sorted(peer_ids)[i]`` belongs to host
 from __future__ import annotations
 
 import json
-import hashlib
-import struct
 import threading
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import AlvisConfig
+from repro.core.fingerprint import state_fingerprint as _state_fingerprint
 from repro.core.network import AlvisNetwork
 from repro.corpus.loader import sample_documents
 from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
@@ -105,32 +104,11 @@ def peers_for_host(network: AlvisNetwork, host_index: int,
             if position % num_hosts == host_index]
 
 
-def state_fingerprint(network: AlvisNetwork) -> str:
-    """Digest of the retrieval-relevant state of a built network.
-
-    Covers membership, each peer's document store and its global-index
-    fragment (keys, postings, dfs) — enough that any divergence between
-    two processes' builds (library-version drift, nondeterminism) flips
-    the digest and aborts the join handshake instead of silently
-    answering probes from different state.
-    """
-    digest = hashlib.sha1()
-    for peer_id in sorted(network.peer_ids()):
-        peer = network.peer(peer_id)
-        digest.update(struct.pack(">Q", peer_id))
-        for doc_id in sorted(document.doc_id
-                             for document in peer.engine.store):
-            digest.update(struct.pack(">Q", doc_id))
-        for key in sorted(peer.fragment.keys(),
-                          key=lambda key: key.terms):
-            entry = peer.fragment.get(key)
-            digest.update(" ".join(key.terms).encode("utf-8"))
-            digest.update(struct.pack(">QI", entry.global_df,
-                                      len(entry.postings.entries)))
-            for posting in entry.postings.entries:
-                digest.update(struct.pack(">Qd", posting.doc_id,
-                                          posting.score))
-    return digest.hexdigest()
+# Canonical implementation lives in repro.core.fingerprint (the digest
+# walks only core state, and the scale-sweep legs need it without
+# reaching up into the cluster layer); re-exported here because the
+# join handshake is its original home.
+state_fingerprint = _state_fingerprint
 
 
 class PeerProcessHost:

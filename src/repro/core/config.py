@@ -178,6 +178,26 @@ class AlvisConfig:
     request_timeout: float = 0.0
 
     # ------------------------------------------------------------------
+    # Indexing-phase scale-out (statistics + HDK build)
+    # ------------------------------------------------------------------
+
+    #: Ship posting lists through the publish/handover pipeline as
+    #: packed flat byte arrays (:class:`repro.ir.postings.PackedPostings`)
+    #: instead of per-entry ``Posting`` objects.  The packed layout is
+    #: the wire layout, so every message size is *byte-identical* to the
+    #: object form — only CPU and Python-object memory change.  Off by
+    #: default: the object path remains the compatibility mode.
+    packed_postings: bool = False
+
+    #: Batch the per-key DHT owner lookups of the statistics and
+    #: HDK-publish phases into one ``lookup_many`` round per peer
+    #: (same greedy route, one batched ``LookupHop`` payload per hop —
+    #: the ``ProbeBatch`` pattern applied to indexing).  Resolved owners
+    #: are identical; only ``LookupHop`` traffic shrinks, so this knob
+    #: *changes measured routing bytes* and stays off by default.
+    batch_index_lookups: bool = False
+
+    # ------------------------------------------------------------------
     # Congestion-aware dispatch (AIMD flow control on the query path)
     # ------------------------------------------------------------------
 

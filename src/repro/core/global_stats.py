@@ -62,6 +62,11 @@ class StatsStore:
         self._df: Dict[str, int] = {}
         #: peer id -> (docs, terms) so re-publishing is idempotent.
         self._collection_reports: Dict[int, tuple] = {}
+        # Running sums kept in lock-step with the reports so reading the
+        # totals is O(1) instead of O(peers) — the statistics phase reads
+        # them once per peer, which used to cost O(peers^2) overall.
+        self._sum_documents = 0
+        self._sum_terms = 0
 
     # Term dfs ----------------------------------------------------------
 
@@ -91,13 +96,21 @@ class StatsStore:
     def fold_collection(self, peer_id: int, num_documents: int,
                         total_terms: int) -> None:
         """Record one peer's collection report (idempotent per peer)."""
+        if num_documents < 0 or total_terms < 0:
+            raise ValueError("contributions must be non-negative")
+        old = self._collection_reports.get(peer_id)
+        if old is not None:
+            self._sum_documents -= old[0]
+            self._sum_terms -= old[1]
         self._collection_reports[peer_id] = (num_documents, total_terms)
+        self._sum_documents += num_documents
+        self._sum_terms += total_terms
 
     def collection_totals(self) -> CollectionTotals:
-        totals = CollectionTotals()
-        for num_documents, total_terms in self._collection_reports.values():
-            totals.fold(num_documents, total_terms)
-        return totals
+        return CollectionTotals(
+            num_documents=self._sum_documents,
+            total_terms=self._sum_terms,
+            num_peers=len(self._collection_reports))
 
 
 class GlobalStatsCache:

@@ -36,6 +36,7 @@ from typing import Dict, List, Set, TYPE_CHECKING
 from repro.core import protocol
 from repro.core.config import AlvisConfig
 from repro.core.keys import Key
+from repro.ir.postings import PackedPostings
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.network import AlvisNetwork
@@ -106,16 +107,30 @@ class HDKIndexer:
         return [Key([term]) for term in peer.engine.index.vocabulary()]
 
     def _publish_round(self, pending: Dict[int, List[Key]]) -> None:
-        """Publish each peer's candidate keys, batched by responsible peer."""
+        """Publish each peer's candidate keys, batched by responsible peer.
+
+        With ``config.batch_index_lookups`` every candidate's owner is
+        resolved in one shared ``lookup_many`` round per peer (same
+        owners, fewer ``LookupHop`` messages); with
+        ``config.packed_postings`` the published posting lists travel in
+        packed wire form (byte-identical sizes).
+        """
+        packed = self.config.packed_postings
         for peer in self.network.peers():
             candidates = pending.get(peer.peer_id, [])
             if not candidates:
                 continue
             batches: Dict[int, List[Key]] = {}
-            for key in candidates:
-                owner, _hops = self.network.lookup_owner(peer.peer_id,
-                                                         key.key_id)
-                batches.setdefault(owner, []).append(key)
+            if self.config.batch_index_lookups:
+                owners, _messages = self.network.lookup_owners(
+                    peer.peer_id, [key.key_id for key in candidates])
+                for key in candidates:
+                    batches.setdefault(owners[key.key_id], []).append(key)
+            else:
+                for key in candidates:
+                    owner, _hops = self.network.lookup_owner(peer.peer_id,
+                                                             key.key_id)
+                    batches.setdefault(owner, []).append(key)
             for owner, keys in batches.items():
                 items = []
                 for key in keys:
@@ -125,6 +140,8 @@ class HDKIndexer:
                     local_df = postings.global_df
                     if local_df == 0:
                         continue
+                    if packed:
+                        postings = PackedPostings.from_list(postings)
                     items.append({"key_terms": list(key.terms),
                                   "postings": postings,
                                   "local_df": local_df})

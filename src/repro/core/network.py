@@ -32,6 +32,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core import protocol
 from repro.core.access import AccessPolicy
 from repro.core.config import AlvisConfig
+from repro.core.global_index import PackedKeyEntry
 from repro.core.global_stats import COLLECTION_KEY_ID
 from repro.core.hdk import HDKIndexer, HDKStats
 from repro.core.keys import Key
@@ -48,8 +49,9 @@ from repro.dht.ring import DHTRing
 from repro.dht.routing import FingerTableStrategy, HopSpaceFingers, uniform_ids
 from repro.ir.analysis import Analyzer
 from repro.ir.documents import Document
+from repro.ir.postings import PackedPostings, set_legacy_construction
 from repro.net.latency import ConstantLatency, LatencyModel
-from repro.net.message import Message
+from repro.net.message import Message, set_legacy_sizing
 from repro.net.transport import SimTransport, TransportBackend
 from repro.sim.events import LegacyEventQueue, Simulator
 from repro.util.rng import make_rng
@@ -88,6 +90,13 @@ class AlvisNetwork:
         #: rebuilds) for A/B benchmarking.  Both profiles are
         #: trace-equivalent — bench_scale asserts it.
         self.kernel_profile = kernel_profile
+        # Pin (or unpin) the module-level CPU paths the profiles A/B:
+        # payload sizing and posting-list construction.  Both settings
+        # are semantics-identical (same bytes, same lists) and
+        # process-wide — the most recently constructed network wins,
+        # which is what the one-leg-per-subprocess benchmarks rely on.
+        set_legacy_sizing(kernel_profile == "legacy")
+        set_legacy_construction(kernel_profile == "legacy")
         #: Virtual ring positions per peer (classic DHT load balancing:
         #: more positions -> each peer owns several small key ranges, so
         #: per-peer storage evens out).  Values > 1 are incompatible with
@@ -111,7 +120,9 @@ class AlvisNetwork:
         self.ring = DHTRing(
             strategy if strategy is not None else HopSpaceFingers(),
             self.transport,
-            lazy_tables=(kernel_profile != "legacy"))
+            lazy_tables=(kernel_profile != "legacy"),
+            fast_hops=(kernel_profile != "legacy"),
+            compact_nodes=(kernel_profile != "legacy"))
         if peer_ids is None:
             peer_ids = uniform_ids(make_rng(seed, "peer-ids"), num_peers)
         elif len(set(peer_ids)) != num_peers:
@@ -387,8 +398,21 @@ class AlvisNetwork:
 
     def _batch_by_owner(self, origin: int,
                         per_term: Dict[str, int]) -> Dict[int, Dict[str, int]]:
-        """Group a per-term mapping by the owner of each term's key."""
+        """Group a per-term mapping by the owner of each term's key.
+
+        With ``config.batch_index_lookups`` all term keys are resolved in
+        one shared ``lookup_many`` round (same greedy routes, hence the
+        same owners; fewer ``LookupHop`` messages) instead of one lookup
+        per term.
+        """
         batches: Dict[int, Dict[str, int]] = {}
+        if self.config.batch_index_lookups:
+            key_ids = {term: Key([term]).key_id for term in per_term}
+            owners, _messages = self.lookup_owners(
+                origin, list(key_ids.values()))
+            for term, value in per_term.items():
+                batches.setdefault(owners[key_ids[term]], {})[term] = value
+            return batches
         for term, value in per_term.items():
             owner, _hops = self.lookup_owner(origin, Key([term]).key_id)
             batches.setdefault(owner, {})[term] = value
@@ -441,15 +465,25 @@ class AlvisNetwork:
             self.send(peer_id, owner, protocol.DF_PUBLISH, {"dfs": batch})
         stats = (peer.stats_cache.statistics()
                  if peer.stats_cache.totals is not None else None)
+        owners_map: Optional[Dict[int, int]] = None
+        if self.config.batch_index_lookups:
+            owners_map, _messages = self.lookup_owners(
+                peer_id, [Key([term]).key_id for term in terms])
         for term in terms:
             key = Key([term])
             postings = peer.engine.top_k_for_key(
                 [term], self.config.truncation_k, stats=stats)
-            owner, _hops = self.lookup_owner(peer_id, key.key_id)
+            local_df = postings.global_df
+            if self.config.packed_postings:
+                postings = PackedPostings.from_list(postings)
+            if owners_map is not None:
+                owner = owners_map[key.key_id]
+            else:
+                owner, _hops = self.lookup_owner(peer_id, key.key_id)
             payload = {"contributor": peer_id,
                        "items": [{"key_terms": [term],
                                   "postings": postings,
-                                  "local_df": postings.global_df}]}
+                                  "local_df": local_df}]}
             self.send(peer_id, owner, protocol.PUBLISH_KEY, payload)
         return doc_id
 
@@ -619,6 +653,8 @@ class AlvisNetwork:
             target = self._add_peer_object_only(to_peer)
         entries = source.fragment.extract_range(range_lo, range_hi)
         if entries:
+            if self.config.packed_postings:
+                entries = [PackedKeyEntry.pack(entry) for entry in entries]
             self.send(from_peer, to_peer, protocol.HANDOVER,
                       {"entries": entries})
         if not self.ring.contains(from_peer):

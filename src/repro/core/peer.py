@@ -21,14 +21,15 @@ from repro.core import protocol
 from repro.core.access import AccessControlError, AccessManager, AccessPolicy
 from repro.core.cache import LRUByteCache
 from repro.core.config import AlvisConfig
-from repro.core.global_index import GlobalIndexFragment, KeyEntry
+from repro.core.global_index import (GlobalIndexFragment, KeyEntry,
+                                     PackedKeyEntry)
 from repro.core.global_stats import GlobalStatsCache, StatsStore
 from repro.core.keys import Key
 from repro.core.qdi import QDIManager
 from repro.core.services import NetworkServices
 from repro.ir.analysis import Analyzer
 from repro.ir.documents import Document
-from repro.ir.postings import PostingList
+from repro.ir.postings import PackedPostings, PostingList
 from repro.ir.search import LocalSearchEngine
 from repro.net.message import Message
 
@@ -177,7 +178,9 @@ class AlvisPeer:
         accepted = 0
         for item in message.payload["items"]:
             key = Key(item["key_terms"])
-            postings: PostingList = item["postings"]
+            postings = item["postings"]
+            if isinstance(postings, PackedPostings):
+                postings = postings.to_posting_list()
             self.fragment.publish(key, postings, int(item["local_df"]),
                                   contributor,
                                   on_demand=bool(item.get("on_demand")))
@@ -313,6 +316,8 @@ class AlvisPeer:
 
     def _on_handover(self, message: Message) -> Optional[Message]:
         for entry in message.payload["entries"]:
+            if isinstance(entry, PackedKeyEntry):
+                entry = entry.to_entry()
             assert isinstance(entry, KeyEntry)
             self.fragment.install(entry)
         return None

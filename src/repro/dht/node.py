@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple
 
 from repro.dht.idspace import clockwise_distance
 
@@ -26,7 +27,7 @@ class DHTNode:
     SUCCESSOR_LIST_SIZE = 4
 
     __slots__ = ("node_id", "fingers", "successors", "table_epoch",
-                 "_neighbours")
+                 "predecessor", "_neighbours", "_hop_table")
 
     def __init__(self, node_id: int):
         self.node_id = node_id
@@ -34,7 +35,13 @@ class DHTNode:
         self.successors: List[int] = []
         #: Membership epoch the tables were built at; -1 = never built.
         self.table_epoch = -1
+        #: Counter-clockwise ring neighbour, installed alongside the
+        #: tables (valid while ``table_epoch`` is current); self until
+        #: tables are built.  Saves a ring-wide bisect per ownership
+        #: test on the routing hot paths.
+        self.predecessor = node_id
         self._neighbours: Optional[List[int]] = None
+        self._hop_table: Optional[Tuple[List[int], List[int]]] = None
 
     # ------------------------------------------------------------------
 
@@ -42,11 +49,13 @@ class DHTNode:
         """Install a freshly built finger list."""
         self.fingers = list(fingers)
         self._neighbours = None
+        self._hop_table = None
 
     def set_successors(self, successors: Sequence[int]) -> None:
         """Install the successor list (used for termination and repair)."""
         self.successors = list(successors[: self.SUCCESSOR_LIST_SIZE])
         self._neighbours = None
+        self._hop_table = None
 
     @property
     def successor(self) -> int:
@@ -112,6 +121,33 @@ class DHTNode:
                 best = candidate
                 best_distance = candidate_distance
         return best
+
+    def next_hop_fast(self, key_id: int) -> Optional[int]:
+        """Bisect form of :meth:`next_hop` — same choice, O(log links).
+
+        Among neighbours that do not overshoot (clockwise offset from this
+        node ``<= my_distance``), the scan picks the one minimizing
+        ``clockwise_distance(candidate, key)``; for those candidates that
+        distance equals ``my_distance - offset``, so the winner is simply
+        the largest non-overshooting offset.  Distinct ids mean distinct
+        offsets, so the argmax is unique and a binary search over the
+        offset-sorted neighbour table returns exactly what the scan
+        returns (``tests/test_dht_routing.py`` pins the equivalence).
+        """
+        table = self._hop_table
+        if table is None:
+            node_id = self.node_id
+            pairs = sorted((clockwise_distance(node_id, candidate),
+                            candidate) for candidate in self.neighbours())
+            table = ([offset for offset, _ in pairs],
+                     [candidate for _, candidate in pairs])
+            self._hop_table = table
+        offsets, candidates = table
+        index = bisect_right(offsets,
+                             clockwise_distance(self.node_id, key_id))
+        if index == 0:
+            return None
+        return candidates[index - 1]
 
     def __repr__(self) -> str:
         return (f"DHTNode(id={self.node_id}, "

@@ -16,11 +16,30 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.dht.idspace import ID_BITS
 from repro.dht.node import DHTNode
 from repro.dht.routing import FingerTableStrategy, HopSpaceFingers
-from repro.net.message import Message
+from repro.net.message import HEADER_BYTES, Message, encoded_size
 from repro.net.transport import TransportBackend
 from repro.sim.procs import all_of
 
-__all__ = ["LookupResult", "BatchLookupResult", "DHTRing"]
+__all__ = ["LookupResult", "BatchLookupResult", "DHTRing",
+           "HOP_MESSAGE_BYTES", "HOP_BATCH_BASE_BYTES", "HOP_KEY_BYTES"]
+
+#: Precomputed ``LookupHop`` wire sizes for the hop fast path.  The wire
+#: model encodes ints at a fixed 8 bytes, so hop-message sizes depend
+#: only on the key *count*, never the key values — a single-key hop, the
+#: envelope of a batched hop, and the per-key increment.  Pinned against
+#: ``Message.size_bytes`` by ``tests/test_dht_routing.py``.
+HOP_MESSAGE_BYTES = HEADER_BYTES + encoded_size({"key_id": 0})
+HOP_BATCH_BASE_BYTES = HEADER_BYTES + encoded_size({"key_ids": []})
+HOP_KEY_BYTES = encoded_size(0)
+
+#: Route-memo sentinel for "this node owns the key" (node ids are
+#: unsigned, so -1 can never collide with a real next hop).
+_ROUTE_OWNED = -1
+
+#: Upper bound on memoized (key, node) -> next-hop entries across all
+#: keys; routing keeps working past it, new entries just stop being
+#: recorded until the next membership change clears the memo.
+_ROUTE_CACHE_MAX_ENTRIES = 1 << 20
 
 #: Handover callback signature: (old_owner, new_owner, key_range_lo, key_range_hi).
 HandoverCallback = Callable[[int, int, int, int], None]
@@ -72,7 +91,9 @@ class DHTRing:
 
     def __init__(self, strategy: Optional[FingerTableStrategy] = None,
                  transport: Optional[TransportBackend] = None,
-                 lazy_tables: bool = True):
+                 lazy_tables: bool = True,
+                 fast_hops: bool = False,
+                 compact_nodes: Optional[bool] = None):
         self.strategy = strategy if strategy is not None else HopSpaceFingers()
         self.transport = transport
         #: Churn-local maintenance: with ``lazy_tables`` a membership
@@ -84,12 +105,45 @@ class DHTRing:
         #: routes and traffic do not change; ``lazy_tables=False``
         #: restores the eager behaviour for A/B benchmarking.
         self.lazy_tables = lazy_tables
+        #: Route accounted hops through the transport's ``deliver_hop``
+        #: fast path (precomputed wire sizes, no per-hop ``Message``
+        #: objects) when the backend offers one.  Byte/trace-identical
+        #: to the message path; off by default so directly constructed
+        #: rings keep the historical, endpoint-visible hop messages.
+        self.fast_hops = fast_hops
+        #: Array-of-struct membership: with ``compact_nodes`` the ring
+        #: records membership in a plain id set + sorted list and
+        #: materializes :class:`DHTNode` objects only for nodes routing
+        #: actually touches (``_nodes`` becomes a cache, not the
+        #: authority).  Node state is purely derived from membership, so
+        #: routes are identical; defaults to ``lazy_tables``.
+        self.compact_nodes = (lazy_tables if compact_nodes is None
+                              else compact_nodes)
+        self._members: set = set()
         self._nodes: Dict[int, DHTNode] = {}
         self._sorted_ids: List[int] = []
         self._tables_dirty = True
         #: Incremented on every membership change; lets caches of
         #: key->owner resolutions detect staleness cheaply.
         self.membership_epoch = 0
+        #: Greedy-route memo (``fast_hops`` only): node id -> {key id ->
+        #: next hop, or ``_ROUTE_OWNED``}.  Within one membership epoch
+        #: the greedy choice is a pure function of (node, key), so
+        #: repeated routes replay from the memo — the *same* hop
+        #: messages are still sent, only the finger-table scans are
+        #: skipped.  Cleared wholesale on any membership change.
+        self._route_cache: Dict[int, Dict[int, int]] = {}
+        self._route_entries = 0
+        self._route_epoch = -1
+        #: Key -> owner memo (bulk batched lookups only): once a batch
+        #: walk resolved a key, later batches from *any* source resolve
+        #: it directly — the standard DHT routing-cache shortcut (a
+        #: peer that already knows a key's owner addresses it without
+        #: re-routing), so the cached keys cost no further lookup
+        #: traffic.  Shares the route memo's epoch lifetime: cleared
+        #: wholesale on any membership change, so it can never serve a
+        #: stale owner.
+        self._owner_cache: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -115,24 +169,32 @@ class DHTRing:
 
     def contains(self, node_id: int) -> bool:
         """True if ``node_id`` is a live member."""
-        return node_id in self._nodes
+        return node_id in self._members
 
-    def add_node(self, node_id: int) -> DHTNode:
-        """Add a node to the membership; tables become stale until rebuilt."""
-        if node_id in self._nodes:
+    def add_node(self, node_id: int) -> Optional[DHTNode]:
+        """Add a node to the membership; tables become stale until rebuilt.
+
+        Returns the node object, or ``None`` with ``compact_nodes`` —
+        the object is only materialized when routing first touches it.
+        """
+        if node_id in self._members:
             raise ValueError(f"node {node_id} already present")
-        node = DHTNode(node_id)
-        self._nodes[node_id] = node
+        self._members.add(node_id)
         bisect.insort(self._sorted_ids, node_id)
         self._tables_dirty = True
         self.membership_epoch += 1
+        if self.compact_nodes:
+            return None
+        node = DHTNode(node_id)
+        self._nodes[node_id] = node
         return node
 
     def remove_node(self, node_id: int) -> None:
         """Remove a node; tables become stale until rebuilt."""
-        if node_id not in self._nodes:
+        if node_id not in self._members:
             raise KeyError(f"node {node_id} not present")
-        del self._nodes[node_id]
+        self._members.discard(node_id)
+        self._nodes.pop(node_id, None)
         index = bisect.bisect_left(self._sorted_ids, node_id)
         self._sorted_ids.pop(index)
         self._tables_dirty = True
@@ -176,12 +238,15 @@ class DHTRing:
         n = len(members)
         epoch = self.membership_epoch
         for rank, node_id in enumerate(members):
-            node = self._nodes[node_id]
+            node = self._node_for(node_id)
             node.set_fingers(self.strategy.build(node_id, members))
             successors = [members[(rank + offset) % n]
                           for offset in range(1, DHTNode.SUCCESSOR_LIST_SIZE + 1)
                           if n > 1]
             node.set_successors(successors)
+            # Cached counter-clockwise neighbour (== predecessor_of);
+            # wraps for n == 1 via Python indexing.
+            node.predecessor = members[rank - 1]
             node.table_epoch = epoch
         self._tables_dirty = False
 
@@ -207,13 +272,33 @@ class DHTRing:
         if self._tables_dirty and not self.lazy_tables:
             self.rebuild_tables()
 
+    def _node_for(self, node_id: int) -> DHTNode:
+        """The node object for a live member, materializing it on first
+        touch in compact mode (KeyError for non-members)."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            if node_id not in self._members:
+                raise KeyError(node_id)
+            node = DHTNode(node_id)
+            self._nodes[node_id] = node
+        return node
+
     def _fresh(self, node_id: int) -> DHTNode:
         """Return ``node_id``'s node with tables valid for the current
         membership, recomputing them (lazily, churn-locally) if stale."""
-        node = self._nodes[node_id]
+        node = self._node_for(node_id)
         if node.table_epoch != self.membership_epoch:
             self._refresh_node(node)
         return node
+
+    def _route_table(self) -> Dict[int, Dict[int, int]]:
+        """The epoch-fresh greedy-route memo (cleared after any churn)."""
+        if self._route_epoch != self.membership_epoch:
+            self._route_cache.clear()
+            self._owner_cache.clear()
+            self._route_entries = 0
+            self._route_epoch = self.membership_epoch
+        return self._route_cache
 
     def _refresh_node(self, node: DHTNode) -> None:
         """Recompute one node's fingers/successors from current membership.
@@ -225,22 +310,25 @@ class DHTRing:
         members = self._sorted_ids
         n = len(members)
         node.set_fingers(self.strategy.build(node.node_id, members))
+        rank = bisect.bisect_left(members, node.node_id)
         if n > 1:
-            rank = bisect.bisect_left(members, node.node_id)
             node.set_successors(
                 [members[(rank + offset) % n]
                  for offset in range(1, DHTNode.SUCCESSOR_LIST_SIZE + 1)])
         else:
             node.set_successors([])
+        # Cached counter-clockwise neighbour (== predecessor_of); wraps
+        # for n == 1 via Python indexing.
+        node.predecessor = members[rank - 1]
         node.table_epoch = self.membership_epoch
 
     def mean_routing_table_size(self) -> float:
         """Average out-degree across nodes (E7 reports this is O(log n))."""
-        if not self._nodes:
+        if not self._members:
             raise ValueError("ring is empty")
         total = sum(self._fresh(node_id).routing_table_size()
                     for node_id in self._sorted_ids)
-        return total / len(self._nodes)
+        return total / len(self._members)
 
     # ------------------------------------------------------------------
     # Iterative lookup
@@ -257,21 +345,42 @@ class DHTRing:
         in the byte accounting.
         """
         self.ensure_tables()
-        if source_id not in self._nodes:
+        if source_id not in self._members:
             raise KeyError(f"source node {source_id} not present")
+        deliver = (getattr(self.transport, "deliver_hop", None)
+                   if (self.fast_hops and account
+                       and self.transport is not None) else None)
         current = source_id
         path = [current]
         hops = 0
         max_hops = 2 * ID_BITS + self.size
+        fast = self.fast_hops
+        table = self._route_table() if fast else None
         while True:
-            node = self._fresh(current)
-            if node.owns(key_id, self.predecessor_of(current)):
+            next_id = None
+            if table is not None:
+                node_routes = table.get(current)
+                if node_routes is not None:
+                    next_id = node_routes.get(key_id)
+            if next_id is None:
+                node = self._fresh(current)
+                if node.owns(key_id, node.predecessor):
+                    next_id = _ROUTE_OWNED
+                else:
+                    next_id = (node.next_hop_fast(key_id) if fast
+                               else node.next_hop(key_id))
+                    if next_id is None:
+                        next_id = node.successor
+                if (table is not None
+                        and self._route_entries < _ROUTE_CACHE_MAX_ENTRIES):
+                    table.setdefault(current, {})[key_id] = next_id
+                    self._route_entries += 1
+            if next_id == _ROUTE_OWNED:
                 return LookupResult(key_id=key_id, owner=current,
                                     hops=hops, path=path)
-            next_id = node.next_hop(key_id)
-            if next_id is None:
-                next_id = node.successor
-            if account and self.transport is not None:
+            if deliver is not None:
+                deliver(current, next_id, HOP_MESSAGE_BYTES)
+            elif account and self.transport is not None:
                 message = Message(src=current, dst=next_id,
                                   kind="LookupHop",
                                   payload={"key_id": key_id})
@@ -296,15 +405,70 @@ class DHTRing:
         of the query engine).
         """
         self.ensure_tables()
-        if source_id not in self._nodes:
+        if source_id not in self._members:
             raise KeyError(f"source node {source_id} not present")
+        deliver = (getattr(self.transport, "deliver_hop", None)
+                   if (self.fast_hops and account
+                       and self.transport is not None) else None)
+        # Bulk hop accounting (see SimTransport.begin_hop_bulk): hops
+        # accumulate in ``hop_acc`` (dst -> [messages, bytes]) and are
+        # settled in one flush, replacing a per-hop delivery call.
+        live = None
+        hop_acc: Optional[Dict[int, List[int]]] = None
+        if deliver is not None:
+            begin_bulk = getattr(self.transport, "begin_hop_bulk", None)
+            live = begin_bulk() if begin_bulk is not None else None
+            if live is not None:
+                hop_acc = {}
+        fast = self.fast_hops
+        routes = self._route_table() if fast else {}
         pending = sorted(set(key_ids))
         owners: Dict[int, int] = {}
         per_key_hops: Dict[int, int] = {key_id: 0 for key_id in pending}
-        frontier: Dict[int, List[int]] = {source_id: pending}
+        # Routing-cache shortcut, bulk accounting mode only (where hop
+        # effects are pure accounting): a key whose owner is already
+        # memoized for this membership epoch resolves directly — the
+        # source addresses the owner without re-routing, so the key
+        # costs no lookup traffic and no forwarding hops.
+        owner_cache = (self._owner_cache
+                       if fast and hop_acc is not None else None)
+        if owner_cache:
+            cached_get = owner_cache.get
+            unresolved = []
+            for key_id in pending:
+                owner = cached_get(key_id)
+                if owner is None:
+                    unresolved.append(key_id)
+                else:
+                    owners[key_id] = owner
+            pending = unresolved
+        frontier: Dict[int, List[int]] = (
+            {source_id: pending} if pending else {})
         messages = 0
         rounds = 0
         max_rounds = 2 * ID_BITS + self.size
+        try:
+            result = self._lookup_many_rounds(
+                frontier, owners, per_key_hops, routes, fast, deliver,
+                live, hop_acc, account, messages, rounds, max_rounds)
+        finally:
+            # Settle accumulated bulk hops even when a delivery error
+            # aborts the walk: exactly the hops per-hop delivery would
+            # have accounted before raising.
+            if hop_acc:
+                self.transport.flush_hop_bulk(hop_acc)
+        if (owner_cache is not None
+                and len(owner_cache) < _ROUTE_CACHE_MAX_ENTRIES):
+            owner_cache.update(result.owners)
+        return result
+
+    def _lookup_many_rounds(self, frontier, owners, per_key_hops, routes,
+                            fast, deliver, live, hop_acc, account,
+                            messages, rounds, max_rounds):
+        """The frontier walk of :meth:`lookup_many` (split out so the
+        bulk-hop flush wraps it in one ``finally``)."""
+        owned = _ROUTE_OWNED
+        cache_cap = _ROUTE_CACHE_MAX_ENTRIES
         while frontier:
             rounds += 1
             if rounds > max_rounds:
@@ -316,27 +480,77 @@ class DHTRing:
                     "inconsistent")
             next_frontier: Dict[int, List[int]] = {}
             for node_id in sorted(frontier):
-                node = self._fresh(node_id)
-                predecessor = self.predecessor_of(node_id)
+                node = None
+                hop = None
+                predecessor = 0
+                # Node-major memo orientation: one hoisted dict per
+                # frontier node, a single probe per key step (bound
+                # methods hoisted out of the key loop).
+                node_routes = routes.get(node_id) if fast else None
+                route_get = (node_routes.get
+                             if node_routes is not None else None)
                 by_next: Dict[int, List[int]] = {}
+                by_next_get = by_next.get
                 for key_id in frontier[node_id]:
-                    if node.owns(key_id, predecessor):
+                    next_id = (route_get(key_id)
+                               if route_get is not None else None)
+                    if next_id is None:
+                        if node is None:
+                            node = self._fresh(node_id)
+                            predecessor = node.predecessor
+                            hop = (node.next_hop_fast if fast
+                                   else node.next_hop)
+                        if node.owns(key_id, predecessor):
+                            next_id = owned
+                        else:
+                            next_id = hop(key_id)
+                            if next_id is None:
+                                next_id = node.successor
+                        if fast and self._route_entries < cache_cap:
+                            if node_routes is None:
+                                node_routes = routes.setdefault(
+                                    node_id, {})
+                                route_get = node_routes.get
+                            node_routes[key_id] = next_id
+                            self._route_entries += 1
+                    if next_id == owned:
+                        # Forwarded once per completed earlier round.
+                        per_key_hops[key_id] = rounds - 1
                         owners[key_id] = node_id
                         continue
-                    next_id = node.next_hop(key_id)
-                    if next_id is None:
-                        next_id = node.successor
-                    by_next.setdefault(next_id, []).append(key_id)
-                for next_id in sorted(by_next):
+                    batch = by_next_get(next_id)
+                    if batch is None:
+                        by_next[next_id] = [key_id]
+                    else:
+                        batch.append(key_id)
+                # Deterministic emission order; a 0/1-entry dict (the
+                # common case late in the walk) is already sorted.
+                targets = (by_next if len(by_next) < 2
+                           else sorted(by_next))
+                for next_id in targets:
                     batch = by_next[next_id]
-                    if account and self.transport is not None:
+                    if hop_acc is not None and next_id in live:
+                        size = (HOP_BATCH_BASE_BYTES
+                                + HOP_KEY_BYTES * len(batch))
+                        entry = hop_acc.get(next_id)
+                        if entry is None:
+                            hop_acc[next_id] = [1, size]
+                        else:
+                            entry[0] += 1
+                            entry[1] += size
+                    elif deliver is not None:
+                        # Unregistered destinations fall through to
+                        # deliver_hop, which raises the DeliveryError
+                        # per-hop delivery would.
+                        deliver(node_id, next_id,
+                                HOP_BATCH_BASE_BYTES
+                                + HOP_KEY_BYTES * len(batch))
+                    elif account and self.transport is not None:
                         message = Message(src=node_id, dst=next_id,
                                           kind="LookupHop",
                                           payload={"key_ids": batch})
                         self.transport.request(message)
                     messages += 1
-                    for key_id in batch:
-                        per_key_hops[key_id] += 1
                     next_frontier.setdefault(next_id, []).extend(batch)
             frontier = next_frontier
         return BatchLookupResult(owners=owners, messages=messages,
@@ -378,7 +592,7 @@ class DHTRing:
         ``message_bytes`` populated.
         """
         self.ensure_tables()
-        if source_id not in self._nodes:
+        if source_id not in self._members:
             raise KeyError(f"source node {source_id} not present")
         pending = sorted(set(key_ids))
         owners: Dict[int, int] = {}
@@ -406,25 +620,27 @@ class DHTRing:
                     "inconsistent")
             hops: List[Tuple[int, int, List[int]]] = []
             for node_id in sorted(frontier):
-                node = (self._fresh(node_id) if node_id in self._nodes
+                node = (self._fresh(node_id) if node_id in self._members
                         else None)
                 if node is None:
                     # The routing node departed while keys were headed to
                     # it; restart from the source or fall back to the
                     # ownership oracle.
                     for key_id in frontier[node_id]:
-                        if source_id in self._nodes:
+                        if source_id in self._members:
                             hops.append((source_id, source_id, [key_id]))
                         else:
                             owners[key_id] = self.successor_of(key_id)
                     continue
                 predecessor = self.predecessor_of(node_id)
+                hop = (node.next_hop_fast if self.fast_hops
+                       else node.next_hop)
                 by_next: Dict[int, List[int]] = {}
                 for key_id in frontier[node_id]:
                     if node.owns(key_id, predecessor):
                         owners[key_id] = node_id
                         continue
-                    next_id = node.next_hop(key_id)
+                    next_id = hop(key_id)
                     if next_id is None:
                         next_id = node.successor
                     by_next.setdefault(next_id, []).append(key_id)
@@ -461,7 +677,7 @@ class DHTRing:
             for future, node_id, next_id, batch in sends:
                 if future is not None and not future.value.ok:
                     if (future.value.status == "overflow"
-                            and node_id in self._nodes
+                            and node_id in self._members
                             and retry_budget > 0):
                         # Congestion, not churn: the hop was rejected by
                         # a full service queue — retransmit it from the
@@ -476,9 +692,9 @@ class DHTRing:
                         # oracle owner is the best answer we can route to.
                         for key_id in batch:
                             owners[key_id] = self.successor_of(key_id)
-                    elif node_id in self._nodes:
+                    elif node_id in self._members:
                         next_frontier.setdefault(node_id, []).extend(batch)
-                    elif source_id in self._nodes:
+                    elif source_id in self._members:
                         next_frontier.setdefault(source_id,
                                                  []).extend(batch)
                     else:

@@ -33,6 +33,7 @@ import time
 from typing import Any, Dict
 
 from repro.core.config import AlvisConfig
+from repro.core.fingerprint import state_fingerprint
 from repro.core.network import AlvisNetwork
 from repro.corpus.queries import QueryWorkload, QueryWorkloadConfig
 from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
@@ -55,16 +56,32 @@ def run_leg(peers: int, documents: int = 240, queries: int = 36,
                                     min_terms=2, max_terms=3, seed=seed))
     timings: Dict[str, float] = {}
 
+    # The fast profile also exercises the indexing-phase scale-out
+    # (packed postings are byte-identical; batched lookups change only
+    # LookupHop traffic, never HDK contents — the fingerprint and top-k
+    # comparisons below still hold across profiles).
+    if kernel_profile == "fast":
+        config = AlvisConfig(async_queries=True, packed_postings=True,
+                             batch_index_lookups=True)
+    else:
+        config = AlvisConfig(async_queries=True)
+
     started = time.perf_counter()
-    network = AlvisNetwork(num_peers=peers,
-                           config=AlvisConfig(async_queries=True),
+    network = AlvisNetwork(num_peers=peers, config=config,
                            seed=seed, kernel_profile=kernel_profile)
     network.distribute_documents(corpus.documents())
     timings["build_s"] = time.perf_counter() - started
 
     started = time.perf_counter()
+    network.run_statistics_phase()
+    timings["stats_s"] = time.perf_counter() - started
+
+    started = time.perf_counter()
     network.build_index(mode=mode)
-    timings["index_s"] = time.perf_counter() - started
+    timings["hdk_s"] = time.perf_counter() - started
+    timings["index_s"] = timings["stats_s"] + timings["hdk_s"]
+
+    index_fingerprint = state_fingerprint(network)
 
     simulator = network.simulator
     churn = network.churn()
@@ -109,7 +126,10 @@ def run_leg(peers: int, documents: int = 240, queries: int = 36,
         "numpy": HAVE_NUMPY,
         "seed": seed,
         "mode": mode,
-        "timings": dict(timings, workload_s=workload_wall),
+        "timings": dict(timings, workload_s=workload_wall,
+                        indexing_phase_s=timings["index_s"],
+                        query_phase_s=workload_wall),
+        "index_fingerprint": index_fingerprint,
         "wall_clock_s": time.perf_counter() - leg_started,
         "events_processed": events,
         "events_per_sec": events / workload_wall if workload_wall else 0.0,

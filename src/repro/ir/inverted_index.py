@@ -239,6 +239,45 @@ class InvertedIndex:
             return {}
         key_terms = set(terms)
         candidates: Dict[str, Set[int]] = {}
+        if np is not None and terms:
+            # Vectorized proximity windows: per document, mark
+            # ``[p - w, p + w]`` around every key-term occurrence with
+            # slice assignment and AND the per-term masks.  Positions
+            # past the end of the document fall off the mask exactly as
+            # ``_terms_at_positions`` drops them on the scalar path
+            # below, which stays the REPRO_PURE_PYTHON=1 reference —
+            # both yield the same ``{candidate: df}`` mapping.
+            postings = self._postings
+            forward = self._forward
+            for doc_id in matching:
+                sequence = forward.get(doc_id, ())
+                length = len(sequence)
+                if not length:
+                    continue
+                mask = None
+                for term in terms:
+                    positions = postings.get(term, {}).get(doc_id, ())
+                    if not positions:
+                        mask = None
+                        break
+                    covered = np.zeros(length, dtype=bool)
+                    for position in positions:
+                        covered[max(0, position - window):
+                                position + window + 1] = True
+                    if mask is None:
+                        mask = covered
+                    else:
+                        mask &= covered
+                        if not mask.any():
+                            mask = None
+                            break
+                if mask is None:
+                    continue
+                for position in np.nonzero(mask)[0].tolist():
+                    term = sequence[position]
+                    if term not in key_terms:
+                        candidates.setdefault(term, set()).add(doc_id)
+            return {term: len(docs) for term, docs in candidates.items()}
         for doc_id in matching:
             near = self._positions_near_all(doc_id, terms, window)
             if not near:

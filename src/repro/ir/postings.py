@@ -6,15 +6,33 @@ heart of the paper's bounded-bandwidth argument).  A :class:`PostingList`
 carries the truncation flag that drives query-lattice pruning: an
 *untruncated* list is complete, so every sub-combination of its key is
 redundant for the query at hand.
+
+**Packed wire encoding.**  :func:`pack_postings` / :func:`unpack_postings`
+are the flat array encoding of a posting list — exactly the layout the
+wire codec (:mod:`repro.net.wire`) and the ``wire_size()`` byte model
+charge: an 8-byte global df, a 1-byte truncation flag, a 4-byte count,
+then 16 bytes (``>Qd``) per posting.  The entry block is produced and
+consumed by a numpy-vectorized path (big-endian structured dtype, so
+``tobytes()`` is bitwise-identical to the ``struct.pack`` loop) with a
+pure-Python fallback; ``REPRO_PURE_PYTHON=1`` pins the fallback.
+:class:`PackedPostings` keeps a list in this packed form inside simulator
+payloads — same ``wire_size()``, so traffic accounting is byte-identical
+whether a payload carries the object or the packed form.
 """
 
 from __future__ import annotations
 
 import heapq
+import struct
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["Posting", "PostingList", "POSTING_WIRE_BYTES"]
+from repro.util.npcompat import np
+
+__all__ = ["Posting", "PostingList", "PackedPostings",
+           "POSTING_WIRE_BYTES", "POSTINGS_ENVELOPE_BYTES",
+           "pack_postings", "unpack_postings",
+           "pack_entries", "unpack_entries"]
 
 #: Wire size of one posting: 8-byte document id + 8-byte score.
 POSTING_WIRE_BYTES = 16
@@ -22,6 +40,36 @@ POSTING_WIRE_BYTES = 16
 #: Fixed posting-list envelope: global df (8) + truncated flag (1) +
 #: length prefix (4).
 _LIST_ENVELOPE_BYTES = 13
+
+#: Public name for the envelope size (the packed layout's fixed prefix).
+POSTINGS_ENVELOPE_BYTES = _LIST_ENVELOPE_BYTES
+
+_ENVELOPE_STRUCT = struct.Struct(">QBI")
+_POSTING_STRUCT = struct.Struct(">Qd")
+
+#: When true, :meth:`PostingList._from_canonical` routes through the
+#: full sort-and-dedup constructor, pinning the pre-optimisation CPU
+#: path.  Flipped by ``AlvisNetwork`` when ``kernel_profile="legacy"``
+#: for A/B benchmarking; both paths build identical lists, so this is a
+#: timing knob, never a semantic one.  Process-wide: the most recently
+#: constructed network wins.
+_legacy_construction = False
+
+
+def set_legacy_construction(enabled: bool) -> None:
+    """Pin (or unpin) the pre-optimisation list-construction path.
+
+    Called by ``AlvisNetwork`` according to its ``kernel_profile``.
+    """
+    global _legacy_construction
+    _legacy_construction = bool(enabled)
+
+#: Big-endian structured dtype matching ``>Qd`` per posting: ``tobytes()``
+#: of an array with this dtype equals the concatenated ``struct.pack``
+#: output byte for byte, which is what keeps the vectorized path
+#: bitwise-identical to the pure-Python one.
+_PACKED_DTYPE = (np.dtype([("doc_id", ">u8"), ("score", ">f8")])
+                 if np is not None else None)
 
 
 @dataclass(frozen=True)
@@ -68,6 +116,31 @@ class PostingList:
                 f"global_df {self.global_df} smaller than stored entries "
                 f"{len(self.entries)}")
 
+    @classmethod
+    def _from_canonical(cls, entries: Sequence[Posting],
+                        global_df: int) -> "PostingList":
+        """Build from entries already in canonical form.
+
+        Callers must guarantee the invariants the public constructor
+        enforces: sorted by ``(-score, doc_id)`` with unique document
+        ids.  Every internal producer of such entries (``truncate``,
+        ``merge``, slices of an existing list) re-enters construction
+        through here, skipping the redundant sort-and-dedup pass that
+        dominated indexing-phase profiles at 10k peers.  Under the
+        legacy kernel profile the full constructor runs instead
+        (identical output — the entries are already canonical).
+        """
+        if _legacy_construction:
+            return cls(entries, global_df=global_df)
+        plist = cls.__new__(cls)
+        plist.entries = list(entries)
+        plist.global_df = int(global_df)
+        if plist.global_df < len(plist.entries):
+            raise ValueError(
+                f"global_df {plist.global_df} smaller than stored "
+                f"entries {len(plist.entries)}")
+        return plist
+
     # ------------------------------------------------------------------
 
     @property
@@ -105,8 +178,8 @@ class PostingList:
         """
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
-        clone = PostingList(self.entries[:k], global_df=self.global_df)
-        return clone
+        return PostingList._from_canonical(self.entries[:k],
+                                           self.global_df)
 
     @staticmethod
     def from_scores(doc_ids: Sequence[int], scores: Sequence[float],
@@ -145,17 +218,47 @@ class PostingList:
         merged length — sufficient for the aggregation protocol, which
         sums *contributing* dfs separately.
         """
-        by_id = {}
-        for posting in list(self.entries) + list(other.entries):
-            existing = by_id.get(posting.doc_id)
-            if existing is None or posting.score > existing.score:
-                by_id[posting.doc_id] = posting
-        merged = sorted(by_id.values(),
-                        key=lambda posting: (-posting.score, posting.doc_id))
+        if not _legacy_construction and (not self.entries
+                                         or not other.entries):
+            # One side empty (the first contribution to a key, most of
+            # the index-construction merges): the union is the other
+            # side, already canonical.
+            source = other if not self.entries else self
+            merged = (source.entries[:limit] if limit is not None
+                      else source.entries)
+            global_df = max(self.global_df, other.global_df,
+                            len(source.entries))
+            return PostingList._from_canonical(merged, global_df)
+        if _legacy_construction:
+            by_id = {}
+            for posting in list(self.entries) + list(other.entries):
+                existing = by_id.get(posting.doc_id)
+                if existing is None or posting.score > existing.score:
+                    by_id[posting.doc_id] = posting
+            merged = sorted(by_id.values(),
+                            key=lambda posting: (-posting.score,
+                                                 posting.doc_id))
+            if limit is not None:
+                merged = merged[:limit]
+            global_df = max(self.global_df, other.global_df, len(by_id))
+            return PostingList(merged, global_df=global_df)
+        # Both sides are canonical runs, so this sort is a linear
+        # two-run merge (Timsort galloping); in canonical order the
+        # first occurrence of a doc id carries its max score, so
+        # keep-first dedup implements max-score-wins.
+        ordered = sorted(self.entries + other.entries,
+                         key=lambda posting: (-posting.score,
+                                              posting.doc_id))
+        merged = []
+        seen = set()
+        for posting in ordered:
+            if posting.doc_id not in seen:
+                seen.add(posting.doc_id)
+                merged.append(posting)
         if limit is not None:
             merged = merged[:limit]
-        global_df = max(self.global_df, other.global_df, len(by_id))
-        return PostingList(merged, global_df=global_df)
+        global_df = max(self.global_df, other.global_df, len(seen))
+        return PostingList._from_canonical(merged, global_df)
 
     @staticmethod
     def union(lists: Iterable["PostingList"],
@@ -165,11 +268,187 @@ class PostingList:
         for posting_list in lists:
             result = result.merge(posting_list, limit=None)
         if limit is not None:
-            result = PostingList(result.entries[:limit],
-                                 global_df=result.global_df)
+            result = PostingList._from_canonical(result.entries[:limit],
+                                                 result.global_df)
         return result
 
     def __repr__(self) -> str:
         flag = "truncated" if self.truncated else "complete"
         return (f"PostingList({len(self.entries)}/{self.global_df} "
                 f"{flag})")
+
+
+# ----------------------------------------------------------------------
+# Packed wire encoding
+# ----------------------------------------------------------------------
+
+def _pack_entries_python(entries: Sequence[Posting]) -> bytes:
+    """Reference entry-block encoder: one ``>Qd`` struct per posting."""
+    pack = _POSTING_STRUCT.pack
+    return b"".join(pack(int(posting.doc_id), float(posting.score))
+                    for posting in entries)
+
+
+def _pack_entries_numpy(entries: Sequence[Posting]) -> bytes:
+    """Vectorized entry-block encoder (bitwise-identical to the
+    reference: the big-endian structured dtype serializes each row as
+    exactly ``struct.pack(">Qd", doc_id, score)``)."""
+    array = np.empty(len(entries), dtype=_PACKED_DTYPE)
+    array["doc_id"] = [posting.doc_id for posting in entries]
+    array["score"] = [posting.score for posting in entries]
+    return array.tobytes()
+
+
+def _unpack_entries_python(data: bytes, offset: int,
+                           count: int) -> List[Posting]:
+    """Reference entry-block decoder."""
+    end = offset + count * POSTING_WIRE_BYTES
+    if end > len(data):
+        raise ValueError(
+            f"packed postings truncated: need {end - offset} bytes at "
+            f"offset {offset}, have {len(data) - offset}")
+    unpack = _POSTING_STRUCT.unpack_from
+    return [Posting(*unpack(data, position))
+            for position in range(offset, end, POSTING_WIRE_BYTES)]
+
+
+def _unpack_entries_numpy(data: bytes, offset: int,
+                          count: int) -> List[Posting]:
+    """Vectorized entry-block decoder (one ``frombuffer``, no per-entry
+    parsing; values round-trip to the exact Python ints/floats the
+    reference decoder produces)."""
+    if offset + count * POSTING_WIRE_BYTES > len(data):
+        raise ValueError(
+            f"packed postings truncated: need "
+            f"{count * POSTING_WIRE_BYTES} bytes at offset {offset}, "
+            f"have {len(data) - offset}")
+    array = np.frombuffer(data, dtype=_PACKED_DTYPE, count=count,
+                          offset=offset)
+    return [Posting(doc_id, score)
+            for doc_id, score in zip(array["doc_id"].tolist(),
+                                     array["score"].tolist())]
+
+
+def pack_entries(entries: Sequence[Posting]) -> bytes:
+    """Encode postings as the flat 16-byte-per-entry block."""
+    if np is not None and len(entries) >= 8:
+        return _pack_entries_numpy(entries)
+    return _pack_entries_python(entries)
+
+
+def unpack_entries(data: bytes, offset: int, count: int) -> List[Posting]:
+    """Decode ``count`` postings from ``data`` at ``offset``.
+
+    Raises :class:`ValueError` when the buffer is too short.
+    """
+    if np is not None and count >= 8:
+        return _unpack_entries_numpy(data, offset, count)
+    return _unpack_entries_python(data, offset, count)
+
+
+def pack_postings(postings: "PostingList") -> bytes:
+    """Encode a posting list into its full packed layout.
+
+    Envelope (global df, truncation flag, count) followed by the entry
+    block; ``len(pack_postings(p)) == p.wire_size()`` always.
+    """
+    return (_ENVELOPE_STRUCT.pack(int(postings.global_df),
+                                  1 if postings.truncated else 0,
+                                  len(postings.entries))
+            + pack_entries(postings.entries))
+
+
+def unpack_postings(data: bytes,
+                    offset: int = 0) -> Tuple["PostingList", int]:
+    """Decode one packed posting list; returns ``(list, next_offset)``.
+
+    Tolerates an untruncated flag with ``global_df > len(entries)`` the
+    way the wire codec does — ``global_df`` already encodes truncation,
+    so the flag is advisory.  Raises :class:`ValueError` on a short
+    buffer (the wire codec maps it to ``TruncatedDatagramError``).
+    """
+    if offset + _LIST_ENVELOPE_BYTES > len(data):
+        raise ValueError(
+            f"packed postings truncated: need the {_LIST_ENVELOPE_BYTES}"
+            f"-byte envelope at offset {offset}, have "
+            f"{len(data) - offset}")
+    global_df, _truncated_flag, count = _ENVELOPE_STRUCT.unpack_from(
+        data, offset)
+    entries = unpack_entries(data, offset + _LIST_ENVELOPE_BYTES, count)
+    posting_list = PostingList(entries,
+                               global_df=max(global_df, len(entries)))
+    next_offset = (offset + _LIST_ENVELOPE_BYTES
+                   + count * POSTING_WIRE_BYTES)
+    return posting_list, next_offset
+
+
+class PackedPostings:
+    """A posting list in its packed wire form, materialized lazily.
+
+    The simulator's indexing-phase payloads (HDK publish, incremental
+    publish, churn handover) can carry this instead of a
+    :class:`PostingList`: ``wire_size()`` is identical by construction,
+    so the byte accounting cannot tell the two apart, while the packed
+    form is exactly what a real deployment would put on the wire.
+
+    Packing is deferred: the byte block's *size* follows from the entry
+    count alone, so a simulated delivery (which hands the object across
+    by reference and only ever asks for its size) never pays for the
+    encode.  Reading :attr:`data` — the real wire codec, the UDP
+    transport, the round-trip tests — materializes and caches the exact
+    bytes :func:`pack_postings` would produce.
+    """
+
+    __slots__ = ("_data", "_entries", "global_df", "count")
+
+    def __init__(self, data: bytes, global_df: int, count: int):
+        self._data = data
+        self._entries: Optional[Sequence[Posting]] = None
+        self.global_df = int(global_df)
+        self.count = int(count)
+
+    @classmethod
+    def from_list(cls, postings: "PostingList") -> "PackedPostings":
+        """Wrap a posting list (the sender-side conversion); lazy."""
+        packed = cls.__new__(cls)
+        packed._data = None
+        packed._entries = postings.entries
+        packed.global_df = int(postings.global_df)
+        packed.count = len(postings.entries)
+        return packed
+
+    @property
+    def data(self) -> bytes:
+        """The packed bytes (encoded on first access, then cached)."""
+        if self._data is None:
+            self._data = (_ENVELOPE_STRUCT.pack(
+                self.global_df, 1 if self.truncated else 0, self.count)
+                + pack_entries(self._entries))
+        return self._data
+
+    def to_posting_list(self) -> "PostingList":
+        """Unpack back into an object posting list (receiver side)."""
+        if self._entries is not None:
+            # Entries came straight from a PostingList, so they already
+            # satisfy the canonical invariants the decode path enforces.
+            return PostingList._from_canonical(
+                self._entries,
+                max(self.global_df, len(self._entries)))
+        posting_list, _next_offset = unpack_postings(self._data)
+        return posting_list
+
+    @property
+    def truncated(self) -> bool:
+        return self.count < self.global_df
+
+    def __len__(self) -> int:
+        return self.count
+
+    def wire_size(self) -> int:
+        """Identical to the equivalent ``PostingList.wire_size()``."""
+        return _LIST_ENVELOPE_BYTES + POSTING_WIRE_BYTES * self.count
+
+    def __repr__(self) -> str:
+        flag = "truncated" if self.truncated else "complete"
+        return (f"PackedPostings({self.count}/{self.global_df} {flag}, "
+                f"{self.wire_size()}B)")

@@ -275,6 +275,12 @@ class SimTransport:
         #: means fully connected.  Endpoints absent from the mapping are
         #: in the implicit group ``0``.
         self._partition_of: Optional[Dict[int, int]] = None
+        #: Accounting fast path: direct ``Counter`` references per
+        #: message kind, invalidated when the registry's generation
+        #: moves (``MetricsRegistry.reset`` drops the counter objects).
+        self._counter_cache: Dict[str, Tuple] = {}
+        self._counter_gen = -1
+        self._total_counters: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -303,14 +309,34 @@ class SimTransport:
     # ------------------------------------------------------------------
 
     def _account(self, message: Message) -> None:
-        size = message.size_bytes()
+        self._account_raw(message.kind, message.dst, message.size_bytes())
+
+    def _account_raw(self, kind: str, dst: int, size: int) -> None:
+        """Accounting with cached counter objects.
+
+        ``metrics.counter(name)`` is two dict probes plus an f-string per
+        call; at 100k-peer indexing scale that dominated delivery.  Sizes
+        are always non-negative (wire-size model), so the values are
+        bumped directly.
+        """
         metrics = self.simulator.metrics
-        metrics.counter("net.msgs.sent").increment()
-        metrics.counter(f"net.msgs.sent.{message.kind}").increment()
-        metrics.counter("net.bytes.sent").increment(size)
-        metrics.counter(f"net.bytes.sent.{message.kind}").increment(size)
-        self.bytes_in[message.dst] = self.bytes_in.get(message.dst, 0) + size
-        self.msgs_in[message.dst] = self.msgs_in.get(message.dst, 0) + 1
+        if metrics.generation != self._counter_gen:
+            self._counter_cache = {}
+            self._counter_gen = metrics.generation
+            self._total_counters = (metrics.counter("net.msgs.sent"),
+                                    metrics.counter("net.bytes.sent"))
+        counters = self._counter_cache.get(kind)
+        if counters is None:
+            counters = (metrics.counter(f"net.msgs.sent.{kind}"),
+                        metrics.counter(f"net.bytes.sent.{kind}"))
+            self._counter_cache[kind] = counters
+        msgs_total, bytes_total = self._total_counters
+        msgs_total.value += 1.0
+        bytes_total.value += size
+        counters[0].value += 1.0
+        counters[1].value += size
+        self.bytes_in[dst] = self.bytes_in.get(dst, 0) + size
+        self.msgs_in[dst] = self.msgs_in.get(dst, 0) + 1
 
     def reset_load_counters(self) -> None:
         """Zero the per-peer inbound counters (between experiment phases).
@@ -496,6 +522,79 @@ class SimTransport:
             elapsed += self.latency.delay(self.rng, reply.src, reply.dst,
                                           reply.size_bytes())
         return reply, elapsed
+
+    def deliver_hop(self, src: int, dst: int, size: int) -> float:
+        """Fast path for one routing hop: account + latency, no objects.
+
+        ``LookupHop`` handlers are no-ops (routing decisions live in the
+        ring, not the endpoint), so a full :meth:`request` — Message
+        construction, handler dispatch, reply bookkeeping — is pure
+        overhead per hop.  This delivers the same observable effects
+        (byte/message accounting against the precomputed wire ``size``,
+        one latency draw from the same RNG stream, churn/partition
+        failure semantics) and returns the one-way delay.
+        """
+        if dst not in self._endpoints:
+            raise DeliveryError(f"no endpoint registered for peer {dst}")
+        if self._partitioned(src, dst):
+            raise DeliveryError(
+                f"peer {dst} unreachable from {src}: network partition")
+        self._account_raw("LookupHop", dst, size)
+        return self.latency.delay(self.rng, src, dst, size)
+
+    def begin_hop_bulk(self):
+        """Live-endpoint view for bulk hop accounting, or ``None``.
+
+        Bulk mode lets a batched routing round accumulate its
+        ``LookupHop`` deliveries locally and settle them in one
+        :meth:`flush_hop_bulk` call, skipping the per-hop
+        :meth:`deliver_hop` overhead.  It is only offered when per-hop
+        delivery has no observable effect beyond accounting: constant
+        latency (the per-hop delay draw consumes no randomness and its
+        value is discarded by batched routing) and no active partition
+        (so the only failure mode is an unregistered destination, which
+        the caller checks against the returned view).  Totals are
+        identical to per-hop delivery in every case.
+        """
+        if self._partition_of is not None:
+            return None
+        if not isinstance(self.latency, ConstantLatency):
+            return None
+        return self._endpoints.keys()
+
+    def flush_hop_bulk(self, counts: Dict[int, list]) -> None:
+        """Settle hops accumulated under :meth:`begin_hop_bulk`.
+
+        ``counts`` maps destination id to ``[messages, bytes]``.  The
+        effect equals calling :meth:`deliver_hop` once per message.
+        """
+        metrics = self.simulator.metrics
+        if metrics.generation != self._counter_gen:
+            self._counter_cache = {}
+            self._counter_gen = metrics.generation
+            self._total_counters = (metrics.counter("net.msgs.sent"),
+                                    metrics.counter("net.bytes.sent"))
+        counters = self._counter_cache.get("LookupHop")
+        if counters is None:
+            counters = (metrics.counter("net.msgs.sent.LookupHop"),
+                        metrics.counter("net.bytes.sent.LookupHop"))
+            self._counter_cache["LookupHop"] = counters
+        bytes_in = self.bytes_in
+        msgs_in = self.msgs_in
+        total_msgs = 0
+        total_bytes = 0
+        # Direct indexing: every destination came from the live-endpoint
+        # view, and register() seeds both load dicts for live peers.
+        for dst, (msgs, size) in counts.items():
+            total_msgs += msgs
+            total_bytes += size
+            bytes_in[dst] += size
+            msgs_in[dst] += msgs
+        msgs_total, bytes_total = self._total_counters
+        msgs_total.value += float(total_msgs)
+        bytes_total.value += total_bytes
+        counters[0].value += float(total_msgs)
+        counters[1].value += total_bytes
 
     def send_local(self, message: Message) -> Optional[Message]:
         """Loopback delivery: no bytes accounted, no latency.

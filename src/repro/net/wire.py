@@ -44,7 +44,8 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.net import protocol
 from repro.net.message import HEADER_BYTES, Message
-from repro.ir.postings import Posting, PostingList
+from repro.ir.postings import (POSTING_WIRE_BYTES, PackedPostings,
+                               PostingList, pack_postings, unpack_entries)
 
 __all__ = [
     "WIRE_SIZE_DELTA", "MAX_DATAGRAM_BYTES", "WIRE_MAGIC", "WIRE_VERSION",
@@ -244,12 +245,12 @@ def _encode_value(out: bytearray, spec: Any, value: Any,
 
 
 def _encode_postings(out: bytearray, postings: PostingList) -> None:
-    out += struct.pack(">QBI", int(postings.global_df),
-                       1 if postings.truncated else 0,
-                       len(postings.entries))
-    for posting in postings.entries:
-        out += struct.pack(">Qd", int(posting.doc_id),
-                           float(posting.score))
+    if isinstance(postings, PackedPostings):
+        # Already in wire form (packed simulator payloads): splice the
+        # bytes straight in — the layouts are identical by construction.
+        out += postings.data
+        return
+    out += pack_postings(postings)
 
 
 def _encode_fields(out: bytearray, schema: Mapping[str, Any],
@@ -333,6 +334,19 @@ _POSTINGS_ENVELOPE = struct.Struct(">QBI")
 _MAX_ITEMS = MAX_DATAGRAM_BYTES
 
 
+def _decode_utf8(raw: bytes, context: str) -> str:
+    """Decode a UTF-8 string field, mapping bad bytes to a WireError.
+
+    A corrupted datagram must never leak a ``UnicodeDecodeError`` (not a
+    :class:`WireError`) past :func:`decode` — the transport's single
+    except-clause would miss it (found by the decoder fuzz tests).
+    """
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise WireError(f"{context}: invalid UTF-8 string") from error
+
+
 def _decode_count(reader: _Reader, context: str) -> int:
     (count,) = reader.unpack(_U32)
     if count > _MAX_ITEMS:
@@ -357,7 +371,7 @@ def _decode_value(reader: _Reader, spec: Any, context: str) -> Any:
         return reader.take(1)[0] != 0
     if spec == "str":
         (length,) = reader.unpack(_U16)
-        return reader.take(length).decode("utf-8")
+        return _decode_utf8(reader.take(length), context)
     if spec == "postings":
         return _decode_postings(reader, context)
     if spec[0] == "list":
@@ -381,10 +395,12 @@ def _decode_postings(reader: _Reader, context: str) -> PostingList:
     if count > _MAX_ITEMS:
         raise TruncatedDatagramError(
             f"{context}: posting list announces {count} entries")
-    entries = []
-    for _ in range(count):
-        doc_id, score = reader.unpack(_POSTING)
-        entries.append(Posting(doc_id=doc_id, score=score))
+    try:
+        # Vectorized entry-block decode (pure-Python fallback inside).
+        entries = unpack_entries(reader.data, reader.offset, count)
+    except ValueError as error:
+        raise TruncatedDatagramError(f"{context}: {error}") from error
+    reader.offset += count * POSTING_WIRE_BYTES
     # An untruncated flag with global_df > len(entries) cannot happen on
     # encode; tolerate it on decode (global_df already encodes it).
     del truncated_flag
@@ -397,7 +413,7 @@ def _decode_fields(reader: _Reader, schema: Mapping[str, Any],
     payload: Dict[str, Any] = {}
     for _ in range(count):
         (name_length,) = reader.unpack(_U16)
-        name = reader.take(name_length).decode("utf-8")
+        name = _decode_utf8(reader.take(name_length), context)
         spec = schema.get(name)
         if spec is None:
             raise UnknownKindError(

@@ -60,6 +60,10 @@ class MetricsRegistry:
     def __init__(self):
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        #: Bumped on :meth:`reset` so callers holding direct ``Counter``
+        #: references (the transport's accounting fast path) can detect
+        #: that their cached objects were dropped from the registry.
+        self.generation = 0
 
     def counter(self, name: str) -> Counter:
         """Return (creating if needed) the counter called ``name``."""
@@ -92,6 +96,7 @@ class MetricsRegistry:
         """Drop all recorded metrics (used between experiment phases)."""
         self._counters.clear()
         self._histograms.clear()
+        self.generation += 1
 
     def snapshot(self, include_process: bool = False) -> Dict[str, float]:
         """A flat copy of every counter value (for experiment reports).

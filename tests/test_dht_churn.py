@@ -181,14 +181,19 @@ class TestLazyMaintenanceEquivalence:
         churn = ChurnProcess(ring, random.Random(11))
         churn.join()
         assert ring.membership_epoch == epoch + 1
+        # A node never materialized by the compact ring counts as stale:
+        # it has no tables at all yet.
         stale = [node_id for node_id in ring.member_ids
-                 if ring._nodes[node_id].table_epoch != ring.membership_epoch]
+                 if node_id not in ring._nodes
+                 or ring._nodes[node_id].table_epoch
+                 != ring.membership_epoch]
         # maintain() did no global rebuild: (almost) everyone is stale.
         assert len(stale) >= ring.size - 1
         source = ring.member_ids[0]
         ring.lookup(source, 12345)
         refreshed = [node_id for node_id in ring.member_ids
-                     if ring._nodes[node_id].table_epoch
+                     if node_id in ring._nodes
+                     and ring._nodes[node_id].table_epoch
                      == ring.membership_epoch]
         # The lookup only refreshed the nodes it actually touched.
         assert 0 < len(refreshed) < ring.size

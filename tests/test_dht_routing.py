@@ -244,3 +244,108 @@ class TestRingMembership:
         ring = _build_ring(ids, HopSpaceFingers())
         # log2(256) = 8 fingers plus up to 4 successors, minus overlap.
         assert 8 <= ring.mean_routing_table_size() <= 13
+
+
+class TestHopByteModel:
+    """The flat hop-delivery byte constants mirror real Message sizes.
+
+    The fast hop path and the batched frontier walk skip Message
+    construction and charge ``HOP_MESSAGE_BYTES`` /
+    ``HOP_BATCH_BASE_BYTES + HOP_KEY_BYTES * len(batch)`` directly —
+    these pins guarantee the shortcut charges exactly what the
+    equivalent ``LookupHop`` Message would weigh, byte for byte.
+    """
+
+    def test_single_hop_message_bytes(self):
+        from repro.dht.ring import HOP_MESSAGE_BYTES
+        from repro.net.message import Message
+        message = Message(src=1, dst=2, kind="LookupHop",
+                          payload={"key_id": 2 ** 63})
+        assert message.size_bytes() == HOP_MESSAGE_BYTES
+
+    @pytest.mark.parametrize("batch_size", [0, 1, 3, 17, 256])
+    def test_batch_hop_message_bytes(self, batch_size):
+        from repro.dht.ring import HOP_BATCH_BASE_BYTES, HOP_KEY_BYTES
+        from repro.net.message import Message
+        key_ids = list(range(batch_size))
+        message = Message(src=1, dst=2, kind="LookupHop",
+                          payload={"key_ids": key_ids})
+        assert message.size_bytes() == \
+            HOP_BATCH_BASE_BYTES + HOP_KEY_BYTES * batch_size
+
+    def test_key_bytes_is_one_id(self):
+        from repro.dht.ring import HOP_KEY_BYTES
+        from repro.net.message import encoded_size
+        assert HOP_KEY_BYTES == encoded_size(2 ** 63)
+
+
+class TestNextHopFastEquivalence:
+    """next_hop_fast must choose exactly what the greedy scan chooses."""
+
+    @pytest.mark.parametrize("strategy", [NaiveFingers(),
+                                          HopSpaceFingers()])
+    def test_equivalence_uniform(self, strategy):
+        ids = uniform_ids(random.Random(18), 128)
+        rng = random.Random(19)
+        for node_id in rng.sample(ids, 16):
+            node = DHTNode(node_id)
+            node.set_fingers(strategy.build(node_id, ids))
+            rank = ids.index(node_id)
+            node.set_successors([ids[(rank + offset) % len(ids)]
+                                 for offset in range(1, 5)])
+            for _ in range(64):
+                key = random_id(rng)
+                assert node.next_hop_fast(key) == node.next_hop(key)
+
+    def test_equivalence_under_skew(self):
+        ids = skewed_ids(random.Random(20), 128, cluster_fraction=0.9,
+                         cluster_width=1e-9)
+        rng = random.Random(21)
+        strategy = HopSpaceFingers()
+        for node_id in rng.sample(ids, 12):
+            node = DHTNode(node_id)
+            node.set_fingers(strategy.build(node_id, ids))
+            for _ in range(64):
+                # Keys at other members are the skew worst case.
+                key = rng.choice(ids)
+                assert node.next_hop_fast(key) == node.next_hop(key)
+
+    def test_equivalence_includes_boundary_keys(self):
+        ids = uniform_ids(random.Random(22), 64)
+        strategy = HopSpaceFingers()
+        node = DHTNode(ids[0])
+        node.set_fingers(strategy.build(ids[0], ids))
+        node.set_successors(ids[1:5])
+        # Exactly-at-neighbour keys exercise the bisect boundaries.
+        for key in list(node.neighbours()) + [ids[0],
+                                              (ids[0] + 1) % ID_SPACE]:
+            assert node.next_hop_fast(key) == node.next_hop(key)
+
+
+class TestBatchedLookupMatchesSingular:
+    """lookup_many resolves every key to the owner lookup() finds."""
+
+    @pytest.mark.parametrize("strategy", [NaiveFingers(),
+                                          HopSpaceFingers()])
+    def test_owners_and_hops_match(self, strategy):
+        ids = uniform_ids(random.Random(23), 100)
+        ring = _build_ring(ids, strategy)
+        rng = random.Random(24)
+        keys = [random_id(rng) for _ in range(50)]
+        source = rng.choice(ids)
+        batch = ring.lookup_many(source, keys)
+        for key in keys:
+            singular = ring.lookup(source, key)
+            assert batch.owners[key] == singular.owner
+            assert batch.per_key_hops[key] == singular.hops
+
+    def test_batch_messages_never_exceed_singular(self):
+        ids = uniform_ids(random.Random(25), 100)
+        ring = _build_ring(ids, HopSpaceFingers())
+        rng = random.Random(26)
+        keys = [random_id(rng) for _ in range(50)]
+        source = rng.choice(ids)
+        batch = ring.lookup_many(source, keys)
+        singular_messages = sum(ring.lookup(source, key).hops
+                                for key in keys)
+        assert batch.messages <= singular_messages

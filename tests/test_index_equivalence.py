@@ -1,0 +1,154 @@
+"""Differential acceptance gate for the indexing-phase scale-out.
+
+The indexing-phase optimisations come in three layers, and each layer
+has a different equivalence contract this file pins:
+
+* ``packed_postings`` (wire-level flat posting arrays) is a pure
+  re-encoding — with the knob on or off, the built index *and every
+  traffic counter* must agree byte for byte;
+* ``batch_index_lookups`` (same-owner bulk statistics round-trips plus
+  the batched frontier walk and its routing cache) may reshape
+  ``LookupHop`` traffic — fewer, larger hop messages — but must never
+  change the index contents nor any *non-lookup* message;
+* ``kernel_profile="fast"`` vs ``"legacy"`` (the A/B the scale
+  benchmark runs, legacy pinning every pre-optimisation CPU path) must
+  build the identical index state and HDK statistics.
+
+Each test builds two networks from identical seeds differing in exactly
+one of those switches and compares ``state_fingerprint`` — the full
+per-peer index state digest the scale benchmark gates on — plus the
+relevant traffic accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AlvisConfig
+from repro.core.fingerprint import state_fingerprint
+from repro.core.network import AlvisNetwork
+from repro.core.protocol import LOOKUP_HOP
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(SyntheticCorpusConfig(
+        num_documents=140, vocabulary_size=700, num_topics=6, seed=11))
+
+
+def _build(corpus, kernel_profile="fast", num_peers=24, seed=7, **knobs):
+    network = AlvisNetwork(num_peers=num_peers, config=AlvisConfig(**knobs),
+                           seed=seed, kernel_profile=kernel_profile)
+    network.distribute_documents(corpus.documents())
+    network.run_statistics_phase()
+    stats = network.build_index(mode="hdk")
+    return network, stats
+
+
+def _non_lookup_traffic(network):
+    return {kind: volume
+            for kind, volume in network.bytes_by_kind().items()
+            if kind != LOOKUP_HOP}
+
+
+def _hdk_stats_fingerprint(stats):
+    return {name: getattr(stats, name) for name in dir(stats)
+            if not name.startswith("_")
+            and not callable(getattr(stats, name))}
+
+
+class TestPackedPostingsEquivalence:
+    """packed on/off: byte-identical state *and* byte-identical traffic."""
+
+    def test_state_and_traffic_identical(self, corpus):
+        packed, packed_stats = _build(corpus, packed_postings=True)
+        plain, plain_stats = _build(corpus, packed_postings=False)
+        assert state_fingerprint(packed) == state_fingerprint(plain)
+        assert _hdk_stats_fingerprint(packed_stats) == \
+            _hdk_stats_fingerprint(plain_stats)
+        assert packed.bytes_by_kind() == plain.bytes_by_kind()
+        assert packed.bytes_sent_total() == plain.bytes_sent_total()
+        assert packed.messages_sent_total() == plain.messages_sent_total()
+        assert packed.per_peer_index_storage() == \
+            plain.per_peer_index_storage()
+
+    def test_legacy_profile_packed_also_identical(self, corpus):
+        packed, _ = _build(corpus, kernel_profile="legacy",
+                           packed_postings=True)
+        plain, _ = _build(corpus, kernel_profile="legacy",
+                          packed_postings=False)
+        assert state_fingerprint(packed) == state_fingerprint(plain)
+        assert packed.bytes_by_kind() == plain.bytes_by_kind()
+
+
+class TestBatchedLookupEquivalence:
+    """batch on/off: identical index, identical non-LookupHop traffic."""
+
+    def test_state_identical_lookup_traffic_cheaper(self, corpus):
+        batched, batched_stats = _build(corpus, batch_index_lookups=True)
+        serial, serial_stats = _build(corpus, batch_index_lookups=False)
+        assert state_fingerprint(batched) == state_fingerprint(serial)
+        assert _hdk_stats_fingerprint(batched_stats) == \
+            _hdk_stats_fingerprint(serial_stats)
+        # Batching rides the same hop sequences, so every non-lookup
+        # message — the statistics and publish payloads that build the
+        # index — is unchanged...
+        assert _non_lookup_traffic(batched) == _non_lookup_traffic(serial)
+        # ...and the whole point: combined hop messages plus the
+        # routing cache spend no more lookup bytes than serial routing.
+        assert batched.bytes_by_kind().get(LOOKUP_HOP, 0.0) <= \
+            serial.bytes_by_kind().get(LOOKUP_HOP, 0.0)
+
+    def test_per_peer_index_placement_identical(self, corpus):
+        batched, _ = _build(corpus, batch_index_lookups=True)
+        serial, _ = _build(corpus, batch_index_lookups=False)
+        assert batched.per_peer_index_storage() == \
+            serial.per_peer_index_storage()
+        assert batched.per_peer_postings() == serial.per_peer_postings()
+
+
+class TestProfileIndexEquivalence:
+    """fast vs legacy at the bench's knob settings: identical index."""
+
+    def test_bench_config_state_identical(self, corpus):
+        fast, fast_stats = _build(corpus, kernel_profile="fast",
+                                  packed_postings=True,
+                                  batch_index_lookups=True)
+        legacy, legacy_stats = _build(corpus, kernel_profile="legacy")
+        assert state_fingerprint(fast) == state_fingerprint(legacy)
+        assert _hdk_stats_fingerprint(fast_stats) == \
+            _hdk_stats_fingerprint(legacy_stats)
+        assert fast.total_keys() == legacy.total_keys()
+        assert fast.per_peer_index_storage() == \
+            legacy.per_peer_index_storage()
+        assert fast.per_peer_postings() == legacy.per_peer_postings()
+        # The index payloads agree too; only lookup routing traffic is
+        # allowed to differ between the profiles.
+        assert _non_lookup_traffic(fast) == _non_lookup_traffic(legacy)
+
+    def test_default_config_traffic_byte_identical(self, corpus):
+        # With every new knob off, fast vs legacy is the pre-existing
+        # contract: byte-identical traffic, not just identical state.
+        fast, _ = _build(corpus, kernel_profile="fast")
+        legacy, _ = _build(corpus, kernel_profile="legacy")
+        assert state_fingerprint(fast) == state_fingerprint(legacy)
+        assert fast.bytes_by_kind() == legacy.bytes_by_kind()
+        assert fast.bytes_sent_total() == legacy.bytes_sent_total()
+        assert fast.messages_sent_total() == legacy.messages_sent_total()
+
+    def test_queries_identical_after_indexing(self, corpus):
+        from repro.corpus.queries import QueryWorkload, QueryWorkloadConfig
+        workload = QueryWorkload.from_corpus(
+            corpus, QueryWorkloadConfig(pool_size=10, seed=13))
+        fast, _ = _build(corpus, kernel_profile="fast",
+                         packed_postings=True, batch_index_lookups=True)
+        legacy, _ = _build(corpus, kernel_profile="legacy")
+        origins = sorted(fast.peer_ids())
+        for index in range(8):
+            origin = origins[index % len(origins)]
+            terms = list(workload.pool[index])
+            fast_results, _ = fast.query(origin, terms)
+            legacy_results, _ = legacy.query(origin, terms)
+            assert [(doc.doc_id, doc.score) for doc in fast_results] == \
+                [(doc.doc_id, doc.score) for doc in legacy_results]
